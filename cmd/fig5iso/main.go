@@ -1,0 +1,88 @@
+// Command fig5iso prints the paper's Figure 5 — the table of
+// communication overheads and isoefficiency functions for sparse
+// factorization and triangular solution under 1-D and 2-D partitioning —
+// and then demonstrates the central isoefficiency result empirically on
+// the virtual machine: when the problem size W grows as p² (Equations
+// 5-9), the measured efficiency of the parallel triangular solver stays
+// level, while fixed-size problems lose efficiency as p grows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sptrsv/internal/analysis"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig5iso: ")
+	pmax := flag.Int("pmax", 16, "largest processor count for the empirical part (the isoefficiency ladder needs N = Θ(p²), so keep this modest)")
+	flag.Parse()
+
+	fmt.Println("Figure 5: communication overheads and isoefficiency functions")
+	fmt.Println()
+	fmt.Printf("%-22s %-24s %-26s %-12s %-26s %-12s %-10s\n",
+		"Matrix type", "Partitioning", "Factorization T_o", "Iso", "Fwd/Bwd solve T_o", "Iso", "Overall")
+	for _, r := range analysis.Fig5Table() {
+		best := ""
+		if r.SolveBest {
+			best = "  <= best solve scheme"
+		}
+		fmt.Printf("%-22s %-24s %-26s %-12s %-26s %-12s %-10s%s\n",
+			r.MatrixType, r.Partitioning, r.FactorComm, r.FactorIso,
+			r.SolveComm, r.SolveIso, r.OverallIso, best)
+	}
+
+	fmt.Println()
+	fmt.Println("Empirical check of W ∝ p² isoefficiency (Equations 5-6, 9):")
+	fmt.Println("the grid side scales linearly with p, so N = Θ(p²) and")
+	fmt.Println("W = Θ(N log N) grows slightly faster than p²; the efficiency")
+	fmt.Println("E = T_S/(p·T_P) of the FBsolve should stay level (or rise).")
+	fmt.Println()
+	fmt.Printf("%6s %12s %12s %14s %14s %12s\n", "p", "grid", "N", "T_P (s)", "speedup", "efficiency")
+	side0 := 33
+	for p := 1; p <= *pmax; p *= 4 {
+		// quadruple p -> quadruple the grid side: W grows a bit beyond p²
+		side := side0 * p
+		prob := mesh.Problem{
+			Name: fmt.Sprintf("GRID2D-%d", side),
+			A:    mesh.Grid2D(side, side), Geom: mesh.Grid2DGeometry(side, side),
+		}
+		pr := harness.Prepare(prob)
+		cfg1 := harness.DefaultConfig(1)
+		r1, err := harness.Run(pr, cfg1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfgP := harness.DefaultConfig(p)
+		rp, err := harness.Run(pr, cfgP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := r1.Solve.Time / rp.Solve.Time
+		fmt.Printf("%6d %9dx%-3d %10d %14.5f %14.2f %12.2f\n",
+			p, side, side, pr.Sym.N, rp.Solve.Time, sp, sp/float64(p))
+	}
+
+	fmt.Println()
+	fmt.Println("Fixed-size contrast (no isoefficiency scaling): efficiency decays.")
+	prob, _ := mesh.ByName("GRID2D-127")
+	pr := harness.Prepare(prob)
+	r1, err := harness.Run(pr, harness.DefaultConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%6s %14s %14s %12s\n", "p", "T_P (s)", "speedup", "efficiency")
+	for p := 1; p <= 256; p *= 4 {
+		rp, err := harness.Run(pr, harness.DefaultConfig(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := r1.Solve.Time / rp.Solve.Time
+		fmt.Printf("%6d %14.5f %14.2f %12.2f\n", p, rp.Solve.Time, sp, sp/float64(p))
+	}
+}

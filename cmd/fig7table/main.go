@@ -1,0 +1,67 @@
+// Command fig7table regenerates the results table of the paper's Figure 7:
+// for each suite matrix and a selection of processor counts it reports the
+// factorization time and MFLOPS, the time to redistribute L from the 2-D
+// factorization layout to the solvers' 1-D layout, and the FBsolve time
+// and MFLOPS for NRHS from 1 to 30.
+//
+// Usage:
+//
+//	fig7table                  # full suite at p = 1,16,64,256
+//	fig7table -p 1,64 -quick   # smaller sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig7table: ")
+	var (
+		pList = flag.String("p", "1,16,64,256", "comma-separated processor counts")
+		quick = flag.Bool("quick", false, "only the first two suite problems")
+	)
+	flag.Parse()
+	ps, err := parseInts(*pList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nrhs := []int{1, 5, 10, 30}
+	fmt.Println("Reproduction of the paper's Figure 7 (partial table of experimental")
+	fmt.Println("results for sparse forward and backward substitution, Cray T3D model).")
+	fmt.Println()
+	suite := harness.SuitePrepared()
+	if *quick {
+		suite = suite[:2]
+	}
+	for _, pr := range suite {
+		fmt.Printf("---- %s (stands in for %s) ----\n", pr.Name, pr.PaperRef)
+		for _, p := range ps {
+			block, err := harness.Fig7Block(pr, p, nrhs, machine.T3D())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(block)
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+// Command fig8curves regenerates the performance curves of the paper's
+// Figure 8: FBsolve MFLOPS versus number of processors for each suite
+// matrix, with NRHS ∈ {1, 2, 5, 10, 20, 30}. As in the paper, both the
+// absolute performance and the speedup grow markedly with the number of
+// right-hand sides.
+//
+// Usage:
+//
+//	fig8curves
+//	fig8curves -pmax 64 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig8curves: ")
+	var (
+		pmax  = flag.Int("pmax", 256, "largest processor count (powers of two from 1)")
+		quick = flag.Bool("quick", false, "only the first and fourth suite problems")
+	)
+	flag.Parse()
+	var ps []int
+	for p := 1; p <= *pmax; p *= 2 {
+		ps = append(ps, p)
+	}
+	nrhs := []int{1, 2, 5, 10, 20, 30}
+	fmt.Println("Reproduction of the paper's Figure 8 (performance versus number of")
+	fmt.Println("processors for parallel sparse triangular solutions, Cray T3D model).")
+	fmt.Println()
+	suite := harness.SuitePrepared()
+	if *quick {
+		suite = []*harness.Prepared{suite[0], suite[3]}
+	}
+	for _, pr := range suite {
+		s, err := harness.Fig8Series(pr, ps, nrhs, machine.T3D())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,21 @@
+// Package sptrsv is a production-quality Go reproduction of Gupta &
+// Kumar, "Parallel Algorithms for Forward and Back Substitution in Direct
+// Solution of Sparse Linear Systems" (Supercomputing 1995): parallel
+// supernodal triangular solvers with subtree-to-subcube mapping and
+// pipelined 1-D block-cyclic dense-trapezoid kernels, together with every
+// substrate they need — orderings, symbolic analysis, a parallel
+// multifrontal Cholesky, the 2-D→1-D factor redistribution, and a
+// deterministic virtual distributed-memory machine standing in for the
+// paper's Cray T3D.
+//
+// The implementation lives under internal/ (see README.md for the map);
+// internal/harness is the high-level entry point used by the examples,
+// the cmd/ experiment drivers, and the benchmark suite in this package:
+//
+//	pr  := harness.Prepare(prob)                 // order + analyze
+//	res, err := harness.Run(pr, harness.DefaultConfig(64))
+//
+// DESIGN.md documents the system inventory and the paper-to-repo
+// substitutions; EXPERIMENTS.md records paper-versus-measured results for
+// every table and figure.
+package sptrsv

@@ -1,0 +1,50 @@
+// Multirhs demonstrates the paper's multiple-right-hand-side result: the
+// factor is distributed once, and repeated triangular solves with growing
+// NRHS raise both the absolute MFLOPS (each factor entry fetched once
+// feeds 2·NRHS flops — the BLAS-3 effect) and the parallel speedup (the
+// pipeline start-up and index computations amortize over the block).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+)
+
+func main() {
+	log.SetFlags(0)
+	prob, err := mesh.ByName("CUBE-20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := harness.Prepare(prob)
+	fmt.Printf("%s: N = %d, nnz(L) = %d\n\n", pr.Name, pr.Sym.N, pr.Sym.NnzL)
+
+	nrhs := []int{1, 2, 5, 10, 20, 30}
+	seq, err := harness.SolveOnly(pr, harness.DefaultConfig(1), nrhs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := harness.SolveOnly(pr, harness.DefaultConfig(64), nrhs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %14s %12s %14s %12s %10s\n",
+		"NRHS", "p=1 time (s)", "p=1 MFLOPS", "p=64 time (s)", "p=64 MFLOPS", "speedup")
+	for i, m := range nrhs {
+		fmt.Printf("%6d %14.4f %12.1f %14.4f %12.1f %10.1f\n",
+			m, seq[i].Solve.Time, seq[i].Solve.MFLOPS(),
+			par[i].Solve.Time, par[i].Solve.MFLOPS(),
+			seq[i].Solve.Time/par[i].Solve.Time)
+		if par[i].Residual > 1e-9 {
+			log.Fatalf("NRHS=%d: residual %g", m, par[i].Residual)
+		}
+	}
+	fmt.Println("\nBoth columns of MFLOPS rise with NRHS, and so does the speedup —")
+	fmt.Println("the behaviour of the paper's Figure 8. Per-solve cost per RHS drops")
+	fmt.Printf("from %.2f ms (NRHS=1) to %.2f ms (NRHS=30) on 64 processors.\n",
+		1e3*par[0].Solve.Time, 1e3*par[len(nrhs)-1].Solve.Time/30)
+}

@@ -1,0 +1,91 @@
+// Workflow demonstrates the full downstream-user path: write/read a
+// matrix in MatrixMarket format, compare fill-reducing orderings (nested
+// dissection, minimum degree, RCM), factor and solve in parallel on the
+// virtual machine, estimate the condition number with Hager's algorithm,
+// and polish the solution with iterative refinement.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/condest"
+	"sptrsv/internal/core"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/refine"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A model matrix, round-tripped through MatrixMarket text — the
+	// format the paper's Harwell-Boeing matrices circulate in today.
+	orig := mesh.Grid2D(24, 24)
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&buf, orig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MatrixMarket round-trip: %d bytes\n", buf.Len())
+	a, err := sparse.ReadMatrixMarket(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Ordering bake-off: fill decides factorization and solve cost.
+	geom := mesh.Grid2DGeometry(24, 24)
+	fmt.Println("\nfill-in (nnz(L), lower is better):")
+	nd := order.NestedDissectionGeom(a, geom)
+	for _, c := range []struct {
+		name string
+		perm []int
+	}{
+		{"natural", order.Natural(a.N)},
+		{"RCM", order.RCM(a)},
+		{"minimum degree", order.MinimumDegree(a)},
+		{"nested dissection", nd},
+	} {
+		fmt.Printf("  %-18s %d\n", c.name, order.FillIn(a, c.perm))
+	}
+	fmt.Println("(the parallel solvers use nested dissection: balanced trees matter")
+	fmt.Println(" more than the last few percent of fill — the paper's §3.1 premise)")
+
+	// 3. Analyze, factor sequentially, and estimate the conditioning.
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(nd))
+	sym = symbolic.Amalgamate(sym, 0.15, 32)
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqSolve := func(b *sparse.Block) *sparse.Block { f.Solve(b); return b }
+	kappa := condest.Estimate(ap, seqSolve, 6)
+	fmt.Printf("\nHager condition estimate: κ₁(A) ≈ %.3g (log det A = %.4f)\n",
+		kappa, f.LogDet())
+
+	// 4. Parallel solve on 8 virtual processors + iterative refinement.
+	p := 8
+	asn := mapping.SubtreeToSubcube(sym, p)
+	df := core.DistributeRows(f, asn, 8)
+	sv := core.NewSolver(df, core.Options{B: 8})
+	mach := machine.New(p, machine.T3D())
+	parSolve := func(b *sparse.Block) *sparse.Block {
+		x, _ := sv.Solve(mach, b)
+		return x
+	}
+	b := mesh.RandomRHS(ap.N, 1, 42)
+	res := refine.Solve(ap, parSolve, b, 3, 1e-13)
+	fmt.Printf("\nparallel solve on p=%d + refinement:\n", p)
+	for i, r := range res.Residuals {
+		fmt.Printf("  residual after %d refinement step(s): %.3g\n", i, r)
+	}
+	if !res.Converged {
+		log.Fatal("refinement did not converge")
+	}
+	fmt.Println("converged ✓")
+}

@@ -1,0 +1,3 @@
+module sptrsv
+
+go 1.22

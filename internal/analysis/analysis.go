@@ -1,0 +1,186 @@
+// Package analysis encodes the paper's analytical results (Section 3 and
+// Appendix A): per-supernode pipelined communication cost, total
+// communication time and overhead functions for matrices from 2-D and 3-D
+// neighborhood graphs, the parallel-runtime predictors of Equations 1-2,
+// the isoefficiency functions of Equations 5-9, and the
+// partitioning-scheme comparison table of Figure 5.
+package analysis
+
+import (
+	"math"
+
+	"sptrsv/internal/machine"
+)
+
+// SupernodeCommTime returns the communication time of the pipelined
+// triangular solve on one n×t supernode shared by q processors with block
+// size b and m right-hand sides: q-1+⌈t/b⌉ neighbor transfers of b·m
+// words each (the paper's "b(q−1)+t" with explicit machine constants).
+func SupernodeCommTime(q, t, b, m int, model machine.CostModel) float64 {
+	if q <= 1 {
+		return 0
+	}
+	steps := float64(q - 1 + (t+b-1)/b)
+	return steps * (model.Ts + model.Tw*float64(b*m))
+}
+
+// SeparatorSize2D returns t(l) ≈ α·√(N/2^l), the supernode width at level
+// l of a nested-dissection-ordered 2-D neighborhood graph.
+func SeparatorSize2D(n float64, l int, alpha float64) float64 {
+	return alpha * math.Sqrt(n/math.Pow(2, float64(l)))
+}
+
+// SeparatorSize3D returns t(l) ≈ α·(N/2^l)^(2/3) for 3-D neighborhood
+// graphs.
+func SeparatorSize3D(n float64, l int, alpha float64) float64 {
+	return alpha * math.Pow(n/math.Pow(2, float64(l)), 2.0/3.0)
+}
+
+// CommTime2D sums the pipelined supernode costs over the log p parallel
+// levels of a 2-D problem: Σ_l [b·(p/2^l) + t(l)] — the paper's
+// O(√N) + O(p) total.
+func CommTime2D(n float64, p, b, m int, alpha float64, model machine.CostModel) float64 {
+	total := 0.0
+	for l := 0; (1 << l) < p; l++ {
+		q := p >> l
+		t := SeparatorSize2D(n, l, alpha)
+		total += SupernodeCommTime(q, int(t)+1, b, m, model)
+	}
+	return total
+}
+
+// CommTime3D is the 3-D analogue: O(N^{2/3}) + O(p).
+func CommTime3D(n float64, p, b, m int, alpha float64, model machine.CostModel) float64 {
+	total := 0.0
+	for l := 0; (1 << l) < p; l++ {
+		q := p >> l
+		t := SeparatorSize3D(n, l, alpha)
+		total += SupernodeCommTime(q, int(t)+1, b, m, model)
+	}
+	return total
+}
+
+// Work2D returns W = O(N·log N): the serial operation count of a
+// triangular solve on a 2-D-graph factor (nnz(L) scales as N·log N).
+func Work2D(n float64) float64 { return n * math.Log2(n) }
+
+// Work3D returns W = O(N^{4/3}) for 3-D-graph factors.
+func Work3D(n float64) float64 { return math.Pow(n, 4.0/3.0) }
+
+// PredictTP2D evaluates Equation 1:
+// T_P = O(N·logN/p) + O(√N) + O(p), with machine constants and m RHS.
+func PredictTP2D(n float64, p, b, m int, alpha float64, model machine.CostModel) float64 {
+	compute := 2 * Work2D(n) * float64(m) // ~2 flops per factor entry per RHS, ×2 sweeps folded into constants
+	perProc := compute/float64(p)*model.Tc + 2*Work2D(n)/float64(p)*model.Tm
+	return perProc + 2*CommTime2D(n, p, b, m, alpha, model)
+}
+
+// PredictTP3D evaluates Equation 2:
+// T_P = O(N^{4/3}/p) + O(N^{2/3}) + O(p).
+func PredictTP3D(n float64, p, b, m int, alpha float64, model machine.CostModel) float64 {
+	compute := 2 * Work3D(n) * float64(m)
+	perProc := compute/float64(p)*model.Tc + 2*Work3D(n)/float64(p)*model.Tm
+	return perProc + 2*CommTime3D(n, p, b, m, alpha, model)
+}
+
+// Overhead returns T_o = p·T_P − T_S.
+func Overhead(tS, tP float64, p int) float64 { return float64(p)*tP - tS }
+
+// Efficiency returns E = T_S / (p·T_P).
+func Efficiency(tS, tP float64, p int) float64 { return tS / (float64(p) * tP) }
+
+// Speedup returns S = T_S / T_P.
+func Speedup(tS, tP float64) float64 { return tS / tP }
+
+// IsoSolve2D returns the problem size W (operation count) needed at p
+// processors to hold efficiency constant for the 2-D sparse solver:
+// W ∝ p² (Equations 5-6; the p² term dominates p·(log p)²).
+func IsoSolve2D(p float64) float64 { return p * p }
+
+// IsoSolve3D returns the 3-D isoefficiency, also W ∝ p² (Equation 9).
+func IsoSolve3D(p float64) float64 { return p * p }
+
+// IsoDenseSolve returns the dense triangular solver's isoefficiency,
+// W ∝ p² (Section 3.3) — equal to the sparse solvers', which is the
+// paper's optimality argument.
+func IsoDenseSolve(p float64) float64 { return p * p }
+
+// IsoFactor2D and IsoFactor3D return the isoefficiency of the companion
+// sparse Cholesky factorization, O(p^1.5) (from the paper's reference
+// [4]; see the Figure 5 table).
+func IsoFactor2D(p float64) float64 { return math.Pow(p, 1.5) }
+func IsoFactor3D(p float64) float64 { return math.Pow(p, 1.5) }
+
+// N2DForWork inverts Work2D approximately (Newton iteration), returning
+// the N that gives serial work w. Used to build isoefficiency ladders.
+func N2DForWork(w float64) float64 {
+	n := w / math.Log2(w+2)
+	for i := 0; i < 50; i++ {
+		f := Work2D(n) - w
+		df := math.Log2(n) + 1/math.Ln2
+		n -= f / df
+		if n < 2 {
+			n = 2
+		}
+	}
+	return n
+}
+
+// N3DForWork inverts Work3D: N = w^{3/4}.
+func N3DForWork(w float64) float64 { return math.Pow(w, 0.75) }
+
+// Fig5Row is one row of the paper's Figure 5 table: communication
+// overheads and isoefficiency functions for factorization and triangular
+// solution under each partitioning scheme.
+type Fig5Row struct {
+	MatrixType   string
+	Partitioning string
+	FactorComm   string // communication overhead T_o of factorization
+	FactorIso    string
+	SolveComm    string // communication overhead T_o of fwd/bwd solution
+	SolveIso     string
+	OverallIso   string
+	SolveBest    bool // shaded box in the paper: best scheme per class
+}
+
+// Fig5Table reproduces the paper's Figure 5.
+func Fig5Table() []Fig5Row {
+	return []Fig5Row{
+		{
+			MatrixType: "Dense", Partitioning: "1-D",
+			FactorComm: "O(N²p)", FactorIso: "O(p³)",
+			SolveComm: "O(p²) + O(Np)", SolveIso: "O(p²)",
+			OverallIso: "O(p³)", SolveBest: true,
+		},
+		{
+			MatrixType: "Dense", Partitioning: "2-D",
+			FactorComm: "O(N²√p)", FactorIso: "O(p^1.5)",
+			SolveComm: "O(N²√p)", SolveIso: "unscalable",
+			OverallIso: "O(p^1.5)",
+		},
+		{
+			MatrixType: "Sparse (2-D graphs)", Partitioning: "1-D subtree-subcube",
+			FactorComm: "O(N p)", FactorIso: "O(p³)",
+			SolveComm: "O(p²) + O(N^{1/2}p)", SolveIso: "O(p²)",
+			OverallIso: "O(p³)", SolveBest: true,
+		},
+		{
+			MatrixType: "Sparse (2-D graphs)", Partitioning: "2-D subtree-subcube",
+			FactorComm: "O(N√p)", FactorIso: "O(p^1.5)",
+			SolveComm: "O(N√p)", SolveIso: "unscalable",
+			OverallIso: "O(p^1.5)",
+		},
+		{
+			MatrixType: "Sparse (3-D graphs)", Partitioning: "1-D subtree-subcube",
+			FactorComm: "O(N^{4/3}p^{1/2}) + O(Np)", FactorIso: "O(p³)",
+			SolveComm: "O(p²) + O(N^{2/3}p)", SolveIso: "O(p²)",
+			OverallIso: "O(p³)", SolveBest: true,
+		},
+		{
+			MatrixType: "Sparse (3-D graphs)", Partitioning: "2-D subtree-subcube",
+			FactorComm: "O(N^{4/3}p^{1/2})", FactorIso: "O(p^1.5)",
+			SolveComm: "O(N^{4/3}p^{1/2})", SolveIso: "unscalable",
+			OverallIso: "O(p^1.5)",
+		},
+	}
+}

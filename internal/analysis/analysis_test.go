@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/machine"
+)
+
+func TestSupernodeCommTime(t *testing.T) {
+	model := machine.CostModel{Ts: 1, Tw: 0.1}
+	// q=1: no communication
+	if SupernodeCommTime(1, 100, 8, 1, model) != 0 {
+		t.Fatal("q=1 should cost nothing")
+	}
+	// q=4, t=16, b=8: steps = 3 + 2 = 5, per-step = 1 + 0.8
+	got := SupernodeCommTime(4, 16, 8, 1, model)
+	want := 5 * 1.8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+	// m multiplies the word volume
+	got30 := SupernodeCommTime(4, 16, 8, 30, model)
+	if got30 <= got {
+		t.Fatal("multi-RHS must cost more per message")
+	}
+}
+
+func TestSeparatorSizes(t *testing.T) {
+	if s0, s2 := SeparatorSize2D(1e4, 0, 1), SeparatorSize2D(1e4, 2, 1); math.Abs(s0/s2-2) > 1e-9 {
+		t.Fatalf("2-D separator must halve every two levels: %g vs %g", s0, s2)
+	}
+	s0, s3 := SeparatorSize3D(1e6, 0, 1), SeparatorSize3D(1e6, 3, 1)
+	if math.Abs(s0/s3-4) > 1e-9 { // (2^3)^(2/3) = 4
+		t.Fatalf("3-D separator ratio wrong: %g", s0/s3)
+	}
+}
+
+func TestCommTimeGrowthShapes(t *testing.T) {
+	model := machine.T3D()
+	// For fixed N, the O(p) term dominates at large p: quadrupling p
+	// should roughly quadruple comm time in that regime.
+	n := 1e4
+	c64 := CommTime2D(n, 64, 8, 1, 1, model)
+	c256 := CommTime2D(n, 256, 8, 1, 1, model)
+	if c256 <= c64 {
+		t.Fatal("comm time must grow with p")
+	}
+	// For fixed p, comm grows like √N (plus constant p-term).
+	cBig := CommTime2D(4*n, 64, 8, 1, 1, model)
+	if cBig <= c64 {
+		t.Fatal("comm time must grow with N")
+	}
+	// 3-D at same N has larger separators, hence more comm
+	if CommTime3D(n, 64, 8, 1, 1, model) <= c64 {
+		t.Fatal("3-D comm should exceed 2-D comm at equal N")
+	}
+}
+
+func TestPredictorsEquations1And2(t *testing.T) {
+	model := machine.T3D()
+	// Strong scaling: T_P decreases with p while compute dominates, then
+	// flattens/rises as the O(p) term takes over.
+	n := 1e5
+	t1 := PredictTP2D(n, 1, 8, 1, 1, model)
+	t16 := PredictTP2D(n, 16, 8, 1, 1, model)
+	if t16 >= t1 {
+		t.Fatal("Eq 1: T_P should drop from p=1 to p=16 on a large problem")
+	}
+	tHuge := PredictTP2D(n, 1<<16, 8, 1, 1, model)
+	if tHuge <= PredictTP2D(n, 1<<10, 8, 1, 1, model) {
+		t.Fatal("Eq 1: O(p) term must eventually dominate")
+	}
+	if PredictTP3D(n, 16, 8, 1, 1, model) <= 0 {
+		t.Fatal("Eq 2: nonpositive prediction")
+	}
+}
+
+func TestEfficiencySpeedupOverhead(t *testing.T) {
+	tS, tP, p := 100.0, 10.0, 16
+	if s := Speedup(tS, tP); s != 10 {
+		t.Fatalf("speedup %g", s)
+	}
+	if e := Efficiency(tS, tP, p); math.Abs(e-10.0/16) > 1e-12 {
+		t.Fatalf("efficiency %g", e)
+	}
+	if o := Overhead(tS, tP, p); o != 60 {
+		t.Fatalf("overhead %g", o)
+	}
+}
+
+func TestIsoefficiencyFunctions(t *testing.T) {
+	// Solver isoefficiency O(p²) is worse (grows faster) than the
+	// factorization's O(p^1.5) — the paper's central comparison.
+	for _, p := range []float64{4, 16, 64, 256} {
+		if IsoSolve2D(p) <= IsoFactor2D(p) {
+			t.Fatalf("p=%g: solve isoefficiency must exceed factorization's", p)
+		}
+		if IsoSolve2D(p) != IsoSolve3D(p) || IsoSolve2D(p) != IsoDenseSolve(p) {
+			t.Fatalf("p=%g: sparse and dense solvers share W∝p²", p)
+		}
+	}
+	// W∝p²: doubling p quadruples required W
+	if r := IsoSolve2D(32) / IsoSolve2D(16); math.Abs(r-4) > 1e-12 {
+		t.Fatalf("iso ratio %g, want 4", r)
+	}
+}
+
+func TestMaintainedEfficiencyUnderIsoScaling(t *testing.T) {
+	// Scale W as p²; efficiency computed from Equation 1 must not decay
+	// (the defining property of the isoefficiency function).
+	model := machine.T3D()
+	effAt := func(p int) float64 {
+		w := 3e4 * float64(p) * float64(p) // W = Θ(p²)
+		n := N2DForWork(w)
+		tS := 2*Work2D(n)*model.Tc + 2*Work2D(n)*model.Tm
+		tP := PredictTP2D(n, p, 8, 1, 1, model)
+		return Efficiency(tS, tP, p)
+	}
+	e4 := effAt(4)
+	e64 := effAt(64)
+	e256 := effAt(256)
+	if e64 < 0.5*e4 || e256 < 0.5*e4 {
+		t.Fatalf("efficiency decays under W∝p² scaling: %g %g %g", e4, e64, e256)
+	}
+}
+
+func TestWorkInverses(t *testing.T) {
+	f := func(w16 uint16) bool {
+		w := float64(w16%10000) + 100
+		n := N2DForWork(w)
+		return math.Abs(Work2D(n)-w) < 1e-6*w+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Work3D(N3DForWork(4096))-4096) > 1e-9 {
+		t.Fatal("3-D work inverse wrong")
+	}
+}
+
+func TestFig5Table(t *testing.T) {
+	rows := Fig5Table()
+	if len(rows) != 6 {
+		t.Fatalf("Figure 5 has 6 rows, got %d", len(rows))
+	}
+	best := 0
+	for _, r := range rows {
+		if r.SolveBest {
+			best++
+			if r.Partitioning != "1-D" && r.Partitioning != "1-D subtree-subcube" {
+				t.Fatalf("best solve scheme must be 1-D, got %q", r.Partitioning)
+			}
+			if r.SolveIso == "unscalable" {
+				t.Fatal("best scheme cannot be unscalable")
+			}
+		} else if r.SolveIso != "unscalable" {
+			t.Fatalf("2-D solve schemes are unscalable in the paper: %+v", r)
+		}
+	}
+	if best != 3 {
+		t.Fatalf("one best scheme per matrix class, got %d", best)
+	}
+}

@@ -1,0 +1,221 @@
+// Package chol implements the sequential substrate of the reproduction: a
+// supernodal multifrontal Cholesky factorization (the paper assumes L was
+// produced by the multifrontal factorization of Gupta, Karypis & Kumar)
+// and sequential supernodal forward/backward substitution. The sequential
+// solvers are both the p=1 baseline of every experiment and the
+// correctness oracle for the parallel solvers.
+package chol
+
+import (
+	"fmt"
+	"math"
+
+	"sptrsv/internal/dense"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+// Factor is the numeric Cholesky factor in supernodal form: Panels[s] is
+// the Height(s)×Width(s) dense trapezoid of supernode s, column-major with
+// leading dimension Height(s). The strictly-upper part of the t×t top
+// block is zero.
+type Factor struct {
+	Sym    *symbolic.Factor
+	Panels [][]float64
+}
+
+// Factorize computes the supernodal multifrontal Cholesky factorization of
+// the (postordered) matrix a, whose symbolic structure is sym. Supernodes
+// are processed in ascending order (a valid postorder of the supernodal
+// tree); each contributes a frontal matrix that is assembled from the
+// original matrix entries and the children's update matrices, partially
+// factored, and whose Schur complement is passed up the tree.
+func Factorize(a *sparse.SymCSC, sym *symbolic.Factor) (*Factor, error) {
+	if a.N != sym.N {
+		return nil, fmt.Errorf("chol: matrix size %d != symbolic size %d", a.N, sym.N)
+	}
+	panels := make([][]float64, sym.NSuper)
+	updates := make([][]float64, sym.NSuper) // child Schur complements awaiting the parent
+	pos := make([]int, sym.N)                // global row -> front-local index scratch
+	for i := range pos {
+		pos[i] = -1
+	}
+	for s := 0; s < sym.NSuper; s++ {
+		rows := sym.Rows[s]
+		ns := len(rows)
+		t := sym.Width(s)
+		j0 := sym.Super[s]
+		front := make([]float64, ns*ns) // column-major, lda = ns
+		for k, r := range rows {
+			pos[r] = k
+		}
+		// assemble original-matrix entries of the supernode's columns
+		for j := j0; j < j0+t; j++ {
+			lj := j - j0
+			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+				i := a.RowIdx[p]
+				fi := pos[i]
+				if fi < 0 {
+					return nil, fmt.Errorf("chol: A(%d,%d) outside supernode %d pattern", i, j, s)
+				}
+				front[lj*ns+fi] += a.Val[p]
+			}
+		}
+		// extend-add children's update matrices
+		for _, c := range sym.SChildren[s] {
+			tc := sym.Width(c)
+			crows := sym.Rows[c][tc:]
+			nu := len(crows)
+			u := updates[c]
+			for cj := 0; cj < nu; cj++ {
+				fj := pos[crows[cj]]
+				for ci := cj; ci < nu; ci++ {
+					front[fj*ns+pos[crows[ci]]] += u[cj*nu+ci]
+				}
+			}
+			updates[c] = nil
+		}
+		if err := dense.PartialCholesky(front, ns, ns, t); err != nil {
+			return nil, fmt.Errorf("chol: supernode %d (cols %d..%d): %w", s, j0, j0+t-1, err)
+		}
+		// extract the n×t factor panel
+		panel := make([]float64, ns*t)
+		for j := 0; j < t; j++ {
+			copy(panel[j*ns:(j+1)*ns], front[j*ns:(j+1)*ns])
+			// zero the strictly-upper entries of the triangular top
+			for i := 0; i < j; i++ {
+				panel[j*ns+i] = 0
+			}
+		}
+		panels[s] = panel
+		// save the Schur complement for the parent
+		if nu := ns - t; nu > 0 {
+			u := make([]float64, nu*nu)
+			for j := 0; j < nu; j++ {
+				for i := j; i < nu; i++ {
+					u[j*nu+i] = front[(t+j)*ns+(t+i)]
+				}
+			}
+			updates[s] = u
+		}
+		for _, r := range rows {
+			pos[r] = -1
+		}
+	}
+	return &Factor{Sym: sym, Panels: panels}, nil
+}
+
+// NnzL returns the number of stored factor entries (trapezoid entries).
+func (f *Factor) NnzL() int64 { return f.Sym.NnzL }
+
+// LogDet returns log(det A) = 2·Σ log L(j,j) — a standard by-product of
+// the factorization (Gaussian likelihoods, entropy computations).
+func (f *Factor) LogDet() float64 {
+	sum := 0.0
+	for s := 0; s < f.Sym.NSuper; s++ {
+		ns := f.Sym.Height(s)
+		t := f.Sym.Width(s)
+		for j := 0; j < t; j++ {
+			sum += math.Log(f.Panels[s][j*ns+j])
+		}
+	}
+	return 2 * sum
+}
+
+// SolveForward solves L·Y = B in place (B row-major N×M), traversing the
+// supernodal tree bottom-up: at each supernode the t×t triangular top is
+// solved, then the rectangular bottom updates the right-hand-side rows of
+// the ancestor supernodes.
+func (f *Factor) SolveForward(b *sparse.Block) {
+	sym := f.Sym
+	if b.N != sym.N {
+		panic("chol: SolveForward dimension mismatch")
+	}
+	m := b.M
+	for s := 0; s < sym.NSuper; s++ {
+		rows := sym.Rows[s]
+		ns := len(rows)
+		t := sym.Width(s)
+		j0 := sym.Super[s]
+		panel := f.Panels[s]
+		top := b.Data[j0*m : (j0+t)*m]
+		dense.SolveLowerRM(panel, ns, t, top, m)
+		// b[rows[k]] -= sum_j panel[j*ns+k] * top[j] for k = t..ns-1
+		for j := 0; j < t; j++ {
+			cj := panel[j*ns:]
+			xj := top[j*m : (j+1)*m]
+			for k := t; k < ns; k++ {
+				ljk := cj[k]
+				if ljk == 0 {
+					continue
+				}
+				dst := b.Row(rows[k])
+				for c := 0; c < m; c++ {
+					dst[c] -= ljk * xj[c]
+				}
+			}
+		}
+	}
+}
+
+// SolveBackward solves Lᵀ·X = Y in place, traversing the tree top-down: at
+// each supernode the top rows gather contributions from ancestor solution
+// rows through the rectangular block, then the triangular top is solved
+// with Lᵀ.
+func (f *Factor) SolveBackward(b *sparse.Block) {
+	sym := f.Sym
+	if b.N != sym.N {
+		panic("chol: SolveBackward dimension mismatch")
+	}
+	m := b.M
+	for s := sym.NSuper - 1; s >= 0; s-- {
+		rows := sym.Rows[s]
+		ns := len(rows)
+		t := sym.Width(s)
+		j0 := sym.Super[s]
+		top := b.Data[j0*m : (j0+t)*m]
+		panel := f.Panels[s]
+		// top[j] -= sum_{k>=t} panel[j*ns+k] * b[rows[k]]
+		for j := 0; j < t; j++ {
+			cj := panel[j*ns:]
+			dst := top[j*m : (j+1)*m]
+			for k := t; k < ns; k++ {
+				ljk := cj[k]
+				if ljk == 0 {
+					continue
+				}
+				src := b.Row(rows[k])
+				for c := 0; c < m; c++ {
+					dst[c] -= ljk * src[c]
+				}
+			}
+		}
+		dense.SolveLowerTransRM(panel, ns, t, top, m)
+	}
+}
+
+// Solve performs the complete forward+backward substitution in place:
+// on return B holds X with A·X = B_in (for the postordered matrix).
+func (f *Factor) Solve(b *sparse.Block) {
+	f.SolveForward(b)
+	f.SolveBackward(b)
+}
+
+// ToDenseL expands L into a full row-major N×N lower-triangular matrix
+// (small problems only; used by tests).
+func (f *Factor) ToDenseL() []float64 {
+	n := f.Sym.N
+	out := make([]float64, n*n)
+	for s := 0; s < f.Sym.NSuper; s++ {
+		rows := f.Sym.Rows[s]
+		ns := len(rows)
+		t := f.Sym.Width(s)
+		j0 := f.Sym.Super[s]
+		for j := 0; j < t; j++ {
+			for k := j; k < ns; k++ {
+				out[rows[k]*n+(j0+j)] = f.Panels[s][j*ns+k]
+			}
+		}
+	}
+	return out
+}

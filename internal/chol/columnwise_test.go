@@ -1,0 +1,80 @@
+package chol
+
+import (
+	"testing"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+)
+
+func TestColumnwiseMatchesSupernodal(t *testing.T) {
+	a := mesh.Grid2D(9, 8)
+	perm := order.NestedDissectionGeom(a, mesh.Grid2DGeometry(9, 8))
+	f, ap := prep(t, a, perm)
+	csc := f.ToCSC()
+	if csc.NNZ() != int(f.Sym.NnzL) {
+		t.Fatalf("CSC nnz %d != symbolic %d", csc.NNZ(), f.Sym.NnzL)
+	}
+	b := mesh.RandomRHS(ap.N, 3, 2)
+	want := b.Clone()
+	f.Solve(want)
+	got := b.Clone()
+	csc.Solve(got)
+	if d := got.MaxAbsDiff(want); d > 1e-11 {
+		t.Fatalf("columnwise differs from supernodal by %g", d)
+	}
+}
+
+func TestColumnwiseSweepsSeparately(t *testing.T) {
+	a := mesh.Grid3D(4, 3, 3)
+	perm := order.NestedDissectionGeom(a, mesh.Grid3DGeometry(4, 3, 3))
+	f, ap := prep(t, a, perm)
+	csc := f.ToCSC()
+	b := mesh.RandomRHS(ap.N, 1, 9)
+	want := b.Clone()
+	f.SolveForward(want)
+	got := b.Clone()
+	csc.SolveForward(got)
+	if d := got.MaxAbsDiff(want); d > 1e-11 {
+		t.Fatalf("forward differs by %g", d)
+	}
+	f.SolveBackward(want)
+	csc.SolveBackward(got)
+	if d := got.MaxAbsDiff(want); d > 1e-11 {
+		t.Fatalf("backward differs by %g", d)
+	}
+}
+
+func TestCSCColumnsDiagonalFirst(t *testing.T) {
+	a := mesh.Grid2D(5, 5)
+	perm := order.NestedDissectionGeom(a, mesh.Grid2DGeometry(5, 5))
+	f, _ := prep(t, a, perm)
+	csc := f.ToCSC()
+	for j := 0; j < csc.N; j++ {
+		if csc.RowIdx[csc.ColPtr[j]] != j {
+			t.Fatalf("column %d does not start with its diagonal", j)
+		}
+		prev := -1
+		for p := csc.ColPtr[j]; p < csc.ColPtr[j+1]; p++ {
+			if csc.RowIdx[p] <= prev {
+				t.Fatalf("column %d rows not ascending", j)
+			}
+			prev = csc.RowIdx[p]
+		}
+	}
+}
+
+func TestColumnwiseSolveRecovers(t *testing.T) {
+	a := mesh.Shell(5, 5, 2)
+	perm := order.NestedDissectionGeom(a, mesh.ShellGeometry(5, 5, 2))
+	f, ap := prep(t, a, perm)
+	csc := f.ToCSC()
+	x := mesh.RandomRHS(ap.N, 2, 4)
+	b := sparse.NewBlock(ap.N, 2)
+	ap.MulBlock(x, b)
+	csc.Solve(b)
+	if d := b.MaxAbsDiff(x); d > 1e-8 {
+		t.Fatalf("columnwise solve error %g", d)
+	}
+}

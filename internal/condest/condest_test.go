@@ -1,0 +1,122 @@
+package condest
+
+import (
+	"math"
+	"testing"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func factoredSolver(t *testing.T, a *sparse.SymCSC, g *mesh.Geometry) (*sparse.SymCSC, Solver) {
+	t.Helper()
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap, func(b *sparse.Block) *sparse.Block {
+		f.Solve(b)
+		return b
+	}
+}
+
+func TestOneNorm(t *testing.T) {
+	tr := sparse.NewTriplet(3)
+	tr.Add(0, 0, 2)
+	tr.Add(1, 1, 3)
+	tr.Add(2, 2, 1)
+	tr.Add(1, 0, -4)
+	a := tr.Compile()
+	// column sums: |2|+|−4|=6, |−4|+|3|=7, 1
+	if got := OneNorm(a); got != 7 {
+		t.Fatalf("OneNorm = %g, want 7", got)
+	}
+}
+
+func TestEstimateDiagonalExact(t *testing.T) {
+	// diag(1, 10, 100): κ₁ = 100 exactly, and Hager finds it
+	tr := sparse.NewTriplet(3)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, 10)
+	tr.Add(2, 2, 100)
+	a := tr.Compile()
+	sym, _, ap := symbolic.Analyze(a)
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(b *sparse.Block) *sparse.Block { f.Solve(b); return b }
+	if got := Estimate(ap, solve, 5); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("diagonal κ₁ estimate = %g, want 100", got)
+	}
+}
+
+func TestEstimateLaplacianPlausible(t *testing.T) {
+	// 1-D Laplacian of size n has κ ≈ 4n²/π²; the Hager estimate is a
+	// lower bound on ‖A⁻¹‖₁·‖A‖₁ and usually within a small factor
+	n := 40
+	tr := sparse.NewTriplet(n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2)
+		if i+1 < n {
+			tr.Add(i+1, i, -1)
+		}
+	}
+	a := tr.Compile()
+	sym, _, ap := symbolic.Analyze(a)
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(b *sparse.Block) *sparse.Block { f.Solve(b); return b }
+	est := Estimate(ap, solve, 8)
+	trueK := 4 * float64(n*n) / (math.Pi * math.Pi)
+	if est < trueK/5 || est > trueK*5 {
+		t.Fatalf("κ₁ estimate %g implausible vs true ≈ %g", est, trueK)
+	}
+}
+
+func TestEstimateGrowsWithGridSize(t *testing.T) {
+	// Dirichlet Laplacian: κ grows like the squared grid side
+	small, solveSmall := factoredSolver(t, mesh.Grid2D(6, 6), mesh.Grid2DGeometry(6, 6))
+	large, solveLarge := factoredSolver(t, mesh.Grid2D(20, 20), mesh.Grid2DGeometry(20, 20))
+	ks := Estimate(small, solveSmall, 6)
+	kl := Estimate(large, solveLarge, 6)
+	if kl <= 2*ks {
+		t.Fatalf("κ₁ should grow strongly with grid size: %g (6×6) vs %g (20×20)", ks, kl)
+	}
+}
+
+func TestInvNormLowerBound(t *testing.T) {
+	// Hager's estimate never exceeds the true norm: cross-check against
+	// the exact inverse on a small matrix.
+	a := mesh.Grid2D(4, 4)
+	ap, solve := factoredSolver(t, a, mesh.Grid2DGeometry(4, 4))
+	n := ap.N
+	// exact ‖A⁻¹‖₁ column by column
+	exact := 0.0
+	for j := 0; j < n; j++ {
+		e := sparse.NewBlock(n, 1)
+		e.Data[j] = 1
+		col := solve(e)
+		s := 0.0
+		for _, v := range col.Data {
+			s += math.Abs(v)
+		}
+		if s > exact {
+			exact = s
+		}
+	}
+	est := InvNormEst(n, solve, 8)
+	if est > exact*(1+1e-12) {
+		t.Fatalf("estimate %g exceeds exact %g", est, exact)
+	}
+	if est < exact/3 {
+		t.Fatalf("estimate %g too far below exact %g", est, exact)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sptrsv/internal/machine"
+	"sptrsv/internal/sparse"
+)
+
+// recvFromParent fills the below-triangle rows of the supernode's v piece
+// with the ancestor solution values sent down by the parent supernode's
+// processors (reverse of the forward child→parent exchange).
+func (sv *Solver) recvFromParent(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	parent := sym.SParent[s]
+	if parent < 0 {
+		return
+	}
+	plan := sv.plans[s]
+	g := sv.DF.Asn.Groups[s]
+	e := g.Index(p.Rank)
+	m := st.m
+	v := st.v[p.Rank][s]
+	for _, part := range plan.sends[e] {
+		data := p.Recv(part.dst, bwdXferTag(s))
+		for i, cl := range part.childLocals {
+			copy(v[cl*m:(cl+1)*m], data[i*m:(i+1)*m])
+		}
+		p.ChargeCopy(int64(len(part.childLocals) * m))
+	}
+	cls := plan.selfChildLocals[p.Rank]
+	pls := plan.selfParentLocals[p.Rank]
+	pv := st.v[p.Rank][parent]
+	for i, cl := range cls {
+		copy(v[cl*m:(cl+1)*m], pv[pls[i]*m:(pls[i]+1)*m])
+	}
+	p.ChargeCopy(int64(2 * len(cls) * m))
+}
+
+// sendToChildren ships, for every child supernode, the solution values at
+// the child's below-triangle rows down to their owners.
+func (sv *Solver) sendToChildren(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	m := st.m
+	v := st.v[p.Rank][s]
+	for _, c := range sym.SChildren[s] {
+		plan := sv.plans[c]
+		for _, part := range plan.recvs[p.Rank] {
+			payload := make([]float64, len(part.parentLocals)*m)
+			for i, pl := range part.parentLocals {
+				copy(payload[i*m:(i+1)*m], v[pl*m:(pl+1)*m])
+			}
+			p.ChargeCopy(int64(len(payload)))
+			p.Send(part.src, bwdXferTag(c), payload)
+		}
+	}
+}
+
+// backwardPipeline runs the pipelined dense-trapezoid back substitution
+// of one supernode (paper Figure 4). x-blocks are computed in reverse
+// order; for each block a partial-sum token of b·m values travels the
+// processor ring accumulating every processor's contribution
+// Σ L(i,j)·x(i) over its local rows beyond the block, and the block's
+// owner completes the t×t-transpose triangular solve.
+func (sv *Solver) backwardPipeline(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	lay := sv.DF.Layouts[s]
+	g := sv.DF.Asn.Groups[s]
+	q := g.Size()
+	e := g.Index(p.Rank)
+	t := sym.Width(s)
+	m := st.m
+	loc := sv.DF.Local[p.Rank][s]
+	lr := lay.Count(e)
+	v := st.v[p.Rank][s]
+	bsz := lay.B // per-supernode adaptive block size
+	tb := (t + bsz - 1) / bsz
+	tag := bwdPipeTag(s)
+
+	// partial computes this processor's contribution to the columns
+	// [r0,r1) from its local rows with global index >= r1.
+	partial := func(r0, r1, bw int, acc []float64) {
+		from := lay.CountBefore(e, r1)
+		if from >= lr {
+			return
+		}
+		for j := 0; j < bw; j++ {
+			col := loc[(r0+j)*lr:]
+			aj := acc[j*m : (j+1)*m]
+			for li := from; li < lr; li++ {
+				lij := col[li]
+				if lij == 0 {
+					continue
+				}
+				src := v[li*m : (li+1)*m]
+				for c := 0; c < m; c++ {
+					aj[c] += lij * src[c]
+				}
+			}
+		}
+		entries := int64((lr - from) * bw)
+		p.Charge(entries, 2*entries*int64(m))
+	}
+
+	// When the supernode is too narrow to fill the ring pipeline
+	// (q-1+tb ring steps would exceed tb·log₂q tree steps), fan the
+	// partial sums in with a binomial-tree reduction per block instead of
+	// the neighbor ring — the paper's pipelined cost model b(q−1)+t
+	// presumes t ≫ bq, which chains of small supernodes violate.
+	useTree := q > 1 && q-1+tb > tb*ceilLog2(q)
+
+	// Ring direction: the token for block k starts at processor
+	// (k−1) mod q — the owner of the *next* token — and travels downward
+	// (e → e−1) through every member, ending at block k's owner. That way
+	// consecutive tokens move in lockstep one hop apart and the fan-in
+	// pipelines with q−1+tb total steps, mirroring the forward fan-out.
+	// (Starting at owner+1 and traveling upward would stall each token
+	// until the previous one completed its whole transit.)
+	for k := tb - 1; k >= 0; k-- {
+		r0 := k * bsz
+		r1 := r0 + bsz
+		if r1 > t {
+			r1 = t
+		}
+		bw := r1 - r0
+		owner := k % q
+		start := (owner - 1 + q) % q
+		switch {
+		case q == 1:
+			acc := make([]float64, bw*m)
+			partial(r0, r1, bw, acc)
+			sv.finishBlock(p, st, s, r0, bw, acc)
+		case useTree:
+			acc := make([]float64, bw*m)
+			partial(r0, r1, bw, acc)
+			sum := p.ReduceSum(g, owner, tag, acc)
+			if e == owner {
+				sv.finishBlock(p, st, s, r0, bw, sum)
+			}
+		case e == owner:
+			acc := p.Recv(g.Ranks[(e+1)%q], tag)
+			partial(r0, r1, bw, acc)
+			sv.finishBlock(p, st, s, r0, bw, acc)
+		case e == start:
+			acc := make([]float64, bw*m)
+			partial(r0, r1, bw, acc)
+			p.Send(g.Ranks[(e-1+q)%q], tag, acc)
+		default:
+			acc := p.Recv(g.Ranks[(e+1)%q], tag)
+			partial(r0, r1, bw, acc)
+			p.Send(g.Ranks[(e-1+q)%q], tag, acc)
+		}
+	}
+}
+
+// ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1.
+func ceilLog2(x int) int {
+	l := 0
+	for 1<<uint(l) < x {
+		l++
+	}
+	return l
+}
+
+// finishBlock subtracts the accumulated ring contributions from the
+// block's right-hand-side rows and solves the bw×bw transposed triangle.
+func (sv *Solver) finishBlock(p *machine.Proc, st *runState, s, r0, bw int, acc []float64) {
+	lay := sv.DF.Layouts[s]
+	g := sv.DF.Asn.Groups[s]
+	e := g.Index(p.Rank)
+	m := st.m
+	loc := sv.DF.Local[p.Rank][s]
+	lr := lay.Count(e)
+	v := st.v[p.Rank][s]
+	l0 := lay.Local(r0)
+	xk := v[l0*m : (l0+bw)*m]
+	for i := 0; i < bw*m; i++ {
+		xk[i] -= acc[i]
+	}
+	p.ChargeCopy(int64(2 * bw * m))
+	p.Charge(0, int64(bw*m))
+	for j := bw - 1; j >= 0; j-- {
+		col := loc[(r0+j)*lr:]
+		xj := xk[j*m : (j+1)*m]
+		for i := j + 1; i < bw; i++ {
+			lij := col[l0+i]
+			xi := xk[i*m : (i+1)*m]
+			for c := 0; c < m; c++ {
+				xj[c] -= lij * xi[c]
+			}
+		}
+		inv := 1 / col[l0+j]
+		for c := 0; c < m; c++ {
+			xj[c] *= inv
+		}
+	}
+	entries := int64(bw * (bw + 1) / 2)
+	p.Charge(entries, 2*entries*int64(m)+int64(bw*m))
+}
+
+// extractSolution writes this processor's solved top rows of supernode s
+// into the global solution block.
+func (sv *Solver) extractSolution(p *machine.Proc, st *runState, s int, x *sparse.Block) {
+	sym := sv.DF.Sym
+	lay := sv.DF.Layouts[s]
+	g := sv.DF.Asn.Groups[s]
+	e := g.Index(p.Rank)
+	t := sym.Width(s)
+	j0 := sym.Super[s]
+	m := st.m
+	v := st.v[p.Rank][s]
+	nTop := lay.CountBefore(e, t)
+	for li := 0; li < nTop; li++ {
+		copy(x.Row(j0+lay.Global(e, li)), v[li*m:(li+1)*m])
+	}
+	p.ChargeCopy(int64(2 * nTop * m))
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+// setup builds the whole sequential pipeline for a problem and returns
+// the permuted matrix, its symbolic and numeric factors.
+func setup(t testing.TB, prob mesh.Problem) (*sparse.SymCSC, *symbolic.Factor, *chol.Factor) {
+	t.Helper()
+	perm := order.NestedDissectionGeom(prob.A, prob.Geom)
+	sym, _, ap := symbolic.Analyze(prob.A.PermuteSym(perm))
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap, sym, f
+}
+
+func grid2DProblem(nx, ny int) mesh.Problem {
+	return mesh.Problem{Name: "g2d", A: mesh.Grid2D(nx, ny), Geom: mesh.Grid2DGeometry(nx, ny)}
+}
+
+func grid3DProblem(nx, ny, nz int) mesh.Problem {
+	return mesh.Problem{Name: "g3d", A: mesh.Grid3D(nx, ny, nz), Geom: mesh.Grid3DGeometry(nx, ny, nz)}
+}
+
+// parallelSolve runs the full parallel FBsolve and returns solution+stats.
+func parallelSolve(t testing.TB, sym *symbolic.Factor, f *chol.Factor,
+	b *sparse.Block, p, bsz int, rowPriority bool, model machine.CostModel) (*sparse.Block, Stats) {
+	t.Helper()
+	asn := mapping.SubtreeToSubcube(sym, p)
+	df := DistributeRows(f, asn, bsz)
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sv := NewSolver(df, Options{B: bsz, RowPriority: rowPriority})
+	mach := machine.New(p, model)
+	return sv.Solve(mach, b)
+}
+
+func TestDistributeGatherRoundTrip(t *testing.T) {
+	_, sym, f := setup(t, grid2DProblem(9, 9))
+	asn := mapping.SubtreeToSubcube(sym, 4)
+	df := DistributeRows(f, asn, 3)
+	g := df.Gathered()
+	for s := range f.Panels {
+		for i := range f.Panels[s] {
+			if f.Panels[s][i] != g.Panels[s][i] {
+				t.Fatalf("supernode %d entry %d corrupted by distribute/gather", s, i)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequentialP1(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(8, 8))
+	b := mesh.RandomRHS(ap.N, 2, 1)
+	want := b.Clone()
+	f.Solve(want)
+	got, _ := parallelSolve(t, sym, f, b, 1, 4, false, machine.Zero())
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("p=1 parallel differs from sequential by %g", d)
+	}
+}
+
+func TestParallelMatchesSequentialAcrossP(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(13, 11))
+	b := mesh.RandomRHS(ap.N, 3, 2)
+	want := b.Clone()
+	f.Solve(want)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		got, _ := parallelSolve(t, sym, f, b, p, 2, false, machine.T3D())
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("p=%d: parallel solution differs by %g", p, d)
+		}
+	}
+}
+
+func TestParallelBlockSizes(t *testing.T) {
+	ap, sym, f := setup(t, grid3DProblem(5, 4, 4))
+	b := mesh.RandomRHS(ap.N, 1, 3)
+	want := b.Clone()
+	f.Solve(want)
+	for _, bsz := range []int{1, 2, 3, 5, 8, 64} {
+		got, _ := parallelSolve(t, sym, f, b, 4, bsz, false, machine.T3D())
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("b=%d: parallel solution differs by %g", bsz, d)
+		}
+	}
+}
+
+func TestRowPriorityVariantCorrect(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(12, 12))
+	b := mesh.RandomRHS(ap.N, 2, 4)
+	want := b.Clone()
+	f.Solve(want)
+	for _, p := range []int{2, 8} {
+		got, _ := parallelSolve(t, sym, f, b, p, 4, true, machine.T3D())
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("row-priority p=%d differs by %g", p, d)
+		}
+	}
+}
+
+func TestMultiRHSMatchesSingleRHS(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(10, 9))
+	m := 5
+	b := mesh.RandomRHS(ap.N, m, 5)
+	got, _ := parallelSolve(t, sym, f, b, 8, 4, false, machine.T3D())
+	// solve each column separately and compare
+	for c := 0; c < m; c++ {
+		bc := sparse.BlockFromVec(b.Col(c))
+		xc, _ := parallelSolve(t, sym, f, bc, 8, 4, false, machine.T3D())
+		for i := 0; i < ap.N; i++ {
+			if math.Abs(got.Row(i)[c]-xc.Data[i]) > 1e-10 {
+				t.Fatalf("multi-RHS column %d row %d mismatch", c, i)
+			}
+		}
+	}
+}
+
+func TestResidualOnSuiteProblem(t *testing.T) {
+	prob := grid3DProblem(6, 6, 6)
+	ap, sym, f := setup(t, prob)
+	b := mesh.RandomRHS(ap.N, 4, 6)
+	x, _ := parallelSolve(t, sym, f, b, 16, 8, false, machine.T3D())
+	r := sparse.NewBlock(ap.N, 4)
+	ap.MulBlock(x, r)
+	r.AddScaled(-1, b)
+	if rel := r.NormInf() / b.NormInf(); rel > 1e-10 {
+		t.Fatalf("relative residual %g", rel)
+	}
+}
+
+func TestShellProblemParallel(t *testing.T) {
+	prob := mesh.Problem{Name: "shell", A: mesh.Shell(8, 8, 3), Geom: mesh.ShellGeometry(8, 8, 3)}
+	ap, sym, f := setup(t, prob)
+	b := mesh.RandomRHS(ap.N, 2, 7)
+	want := b.Clone()
+	f.Solve(want)
+	got, _ := parallelSolve(t, sym, f, b, 8, 8, false, machine.T3D())
+	if d := got.MaxAbsDiff(want); d > 1e-8 {
+		t.Fatalf("shell parallel solve differs by %g", d)
+	}
+}
+
+func TestStatsSensible(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(20, 20))
+	b := mesh.RandomRHS(ap.N, 1, 8)
+	_, st1 := parallelSolve(t, sym, f, b.Clone(), 1, 8, false, machine.T3D())
+	_, st4 := parallelSolve(t, sym, f, b.Clone(), 4, 8, false, machine.T3D())
+	if st1.Time <= 0 || st4.Time <= 0 {
+		t.Fatal("nonpositive virtual times")
+	}
+	if st4.Time >= st1.Time {
+		t.Fatalf("p=4 (%.3g s) not faster than p=1 (%.3g s)", st4.Time, st1.Time)
+	}
+	// flop counts must agree with the symbolic model up to small slack
+	// (transfer adds and diagonal divisions)
+	want := float64(sym.SolveFlopsPerRHS)
+	if got := float64(st1.Flops); got < want || got > 1.6*want {
+		t.Fatalf("p=1 flops %g vs symbolic %g", got, want)
+	}
+	if st1.CommTime != 0 {
+		// p=1 has no messages except none; comm time must be 0
+		t.Fatalf("p=1 comm time %g", st1.CommTime)
+	}
+	if st4.CommTime <= 0 {
+		t.Fatal("p=4 should have nonzero comm time")
+	}
+}
+
+func TestSpeedupGrowsWithRHS(t *testing.T) {
+	// the paper: multiple right-hand sides amortize pipeline overheads,
+	// so speedup at fixed p grows with NRHS
+	ap, sym, f := setup(t, grid2DProblem(31, 31))
+	speedup := func(m int) float64 {
+		b := mesh.RandomRHS(ap.N, m, 9)
+		_, st1 := parallelSolve(t, sym, f, b.Clone(), 1, 8, false, machine.T3D())
+		_, stp := parallelSolve(t, sym, f, b.Clone(), 16, 8, false, machine.T3D())
+		return st1.Time / stp.Time
+	}
+	s1 := speedup(1)
+	s10 := speedup(10)
+	if s10 <= s1 {
+		t.Fatalf("speedup with 10 RHS (%.2f) not larger than with 1 RHS (%.2f)", s10, s1)
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(11, 11))
+	b := mesh.RandomRHS(ap.N, 2, 10)
+	_, st1 := parallelSolve(t, sym, f, b.Clone(), 8, 4, false, machine.T3D())
+	for i := 0; i < 3; i++ {
+		_, st2 := parallelSolve(t, sym, f, b.Clone(), 8, 4, false, machine.T3D())
+		if st2.Time != st1.Time || st2.Flops != st1.Flops {
+			t.Fatalf("run %d: nondeterministic stats (%v vs %v)", i, st2, st1)
+		}
+	}
+}
+
+func TestQuickParallelCorrectness(t *testing.T) {
+	f := func(p8, b8, m8 uint8, seed int64, rowPrio bool) bool {
+		p := 1 << (p8 % 4)   // 1..8
+		bsz := int(b8%6) + 1 // 1..6
+		m := int(m8%3) + 1   // 1..3
+		prob := grid2DProblem(9, 8)
+		perm := order.NestedDissectionGeom(prob.A, prob.Geom)
+		sym, _, ap := symbolic.Analyze(prob.A.PermuteSym(perm))
+		fac, err := chol.Factorize(ap, sym)
+		if err != nil {
+			return false
+		}
+		b := mesh.RandomRHS(ap.N, m, seed)
+		want := b.Clone()
+		fac.Solve(want)
+		asn := mapping.SubtreeToSubcube(sym, p)
+		df := DistributeRows(fac, asn, bsz)
+		sv := NewSolver(df, Options{B: bsz, RowPriority: rowPrio})
+		mach := machine.New(p, machine.T3D())
+		got, _ := sv.Solve(mach, b)
+		return got.MaxAbsDiff(want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSolverRejectsMismatchedBlockSize(t *testing.T) {
+	_, sym, f := setup(t, grid2DProblem(6, 6))
+	asn := mapping.SubtreeToSubcube(sym, 2)
+	df := DistributeRows(f, asn, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted mismatched block sizes")
+		}
+	}()
+	NewSolver(df, Options{B: 8})
+}
+
+func TestTraceCoversBothSweeps(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(9, 9))
+	asn := mapping.SubtreeToSubcube(sym, 4)
+	df := DistributeRows(f, asn, 4)
+	sv := NewSolver(df, Options{B: 4})
+	type key struct {
+		rank, snode int
+		phase       TracePhase
+	}
+	var mu sync.Mutex
+	seen := make(map[key]int)
+	sv.Trace = func(rank, snode int, phase TracePhase, t0, t1 float64) {
+		if t1 < t0 {
+			t.Errorf("negative span for %d/%d", rank, snode)
+		}
+		mu.Lock()
+		seen[key{rank, snode, phase}]++
+		mu.Unlock()
+	}
+	mach := machine.New(4, machine.T3D())
+	sv.Solve(mach, mesh.RandomRHS(ap.N, 1, 1))
+	// every (rank, supernode) pair of the mapping must be traced exactly
+	// once per phase
+	for r := 0; r < 4; r++ {
+		for _, s := range asn.ProcSupernodes(r) {
+			for _, ph := range []TracePhase{TraceForward, TraceBackward} {
+				if seen[key{r, s, ph}] != 1 {
+					t.Fatalf("rank %d snode %d phase %v traced %d times",
+						r, s, ph, seen[key{r, s, ph}])
+				}
+			}
+		}
+	}
+	if TraceForward.String() != "forward" || TraceBackward.String() != "backward" {
+		t.Fatal("TracePhase strings wrong")
+	}
+}
+
+func TestFlatMappingSolvesCorrectly(t *testing.T) {
+	ap, sym, f := setup(t, grid2DProblem(11, 10))
+	b := mesh.RandomRHS(ap.N, 2, 6)
+	want := b.Clone()
+	f.Solve(want)
+	asn := mapping.Flat(sym, 8)
+	df := DistributeRows(f, asn, 4)
+	sv := NewSolver(df, Options{B: 4})
+	mach := machine.New(8, machine.T3D())
+	got, st := sv.Solve(mach, b)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("flat-mapped solve differs by %g", d)
+	}
+	// subtree-to-subcube must beat the flat mapping (concurrent subtrees)
+	asn2 := mapping.SubtreeToSubcube(sym, 8)
+	df2 := DistributeRows(f, asn2, 4)
+	sv2 := NewSolver(df2, Options{B: 4})
+	mach2 := machine.New(8, machine.T3D())
+	_, st2 := sv2.Solve(mach2, b.Clone())
+	if st2.Time >= st.Time {
+		t.Fatalf("subtree-to-subcube (%g s) not faster than flat (%g s)", st2.Time, st.Time)
+	}
+}
+
+// TestRandomSPDGraphOrdered exercises the whole parallel solver on random
+// sparse SPD matrices ordered with graph-based nested dissection (no
+// geometry available), across random machine shapes.
+func TestRandomSPDGraphOrdered(t *testing.T) {
+	f := func(seed int64, p8, deg8 uint8) bool {
+		n := 150
+		avgDeg := int(deg8%4) + 3
+		p := 1 << (p8 % 4)
+		a := mesh.RandomSPD(n, avgDeg, seed)
+		perm := order.NestedDissectionGraph(a)
+		sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+		sym = symbolic.Amalgamate(sym, 0.15, 32)
+		fac, err := chol.Factorize(ap, sym)
+		if err != nil {
+			return false
+		}
+		asn := mapping.SubtreeToSubcube(sym, p)
+		df := DistributeRows(fac, asn, 4)
+		sv := NewSolver(df, Options{B: 4})
+		mach := machine.New(p, machine.T3D())
+		x := mesh.RandomRHS(n, 2, seed+1)
+		b := sparse.NewBlock(n, 2)
+		ap.MulBlock(x, b)
+		got, _ := sv.Solve(mach, b)
+		return got.MaxAbsDiff(x) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSequentialTimeModel(t *testing.T) {
+	// the closed-form T_S must track a measured p=1 run closely (it is
+	// the denominator of every speedup/efficiency number)
+	ap, sym, f := setup(t, grid2DProblem(24, 24))
+	asn := mapping.SubtreeToSubcube(sym, 1)
+	df := DistributeRows(f, asn, 8)
+	sv := NewSolver(df, DefaultOptions())
+	mach := machine.New(1, machine.T3D())
+	for _, m := range []int{1, 10} {
+		mach.Reset()
+		_, st := sv.Solve(mach, mesh.RandomRHS(ap.N, m, 1))
+		model := SolveSequentialTime(sym.NnzL, int64(sym.N), m, machine.T3D())
+		if st.Time < model*0.8 || st.Time > model*1.6 {
+			t.Fatalf("m=%d: measured %.5f vs model %.5f out of band", m, st.Time, model)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sptrsv/internal/machine"
+	"sptrsv/internal/sparse"
+)
+
+// runState holds the per-processor working vectors of one solve: v[r][s]
+// is the length-Height(s) right-hand-side/solution piece accompanying
+// supernode s, distributed by the supernode's row layout (local rows × m,
+// row-major). Each rank only ever touches its own slots.
+type runState struct {
+	m          int
+	v          [][][]float64
+	markClocks []float64
+	endClocks  []float64
+}
+
+func (sv *Solver) newRunState(m int) *runState {
+	df := sv.DF
+	st := &runState{
+		m:          m,
+		v:          make([][][]float64, df.Asn.P),
+		markClocks: make([]float64, df.Asn.P),
+		endClocks:  make([]float64, df.Asn.P),
+	}
+	for r := 0; r < df.Asn.P; r++ {
+		st.v[r] = make([][]float64, df.Sym.NSuper)
+	}
+	for s := 0; s < df.Sym.NSuper; s++ {
+		lay := df.Layouts[s]
+		for idx, r := range df.Asn.Groups[s].Ranks {
+			st.v[r][s] = make([]float64, lay.Count(idx)*m)
+		}
+	}
+	return st
+}
+
+// initSupernodeRHS loads the right-hand-side entries of the supernode's
+// own columns into the top rows of the local v piece (adding to any child
+// contributions already copied in locally).
+func (sv *Solver) initSupernodeRHS(p *machine.Proc, st *runState, s int, b *sparse.Block) {
+	sym := sv.DF.Sym
+	lay := sv.DF.Layouts[s]
+	g := sv.DF.Asn.Groups[s]
+	e := g.Index(p.Rank)
+	t := sym.Width(s)
+	j0 := sym.Super[s]
+	m := st.m
+	v := st.v[p.Rank][s]
+	nTop := lay.CountBefore(e, t)
+	for li := 0; li < nTop; li++ {
+		row := b.Row(j0 + lay.Global(e, li))
+		dst := v[li*m : (li+1)*m]
+		for c := 0; c < m; c++ {
+			dst[c] += row[c]
+		}
+	}
+	p.ChargeCopy(int64(2 * nTop * m))
+}
+
+// collectChildren receives (and adds) the below-row contributions sent by
+// the processors of every child supernode.
+func (sv *Solver) collectChildren(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	m := st.m
+	v := st.v[p.Rank][s]
+	for _, c := range sym.SChildren[s] {
+		plan := sv.plans[c]
+		for _, part := range plan.recvs[p.Rank] {
+			data := p.Recv(part.src, fwdXferTag(c))
+			for i, pl := range part.parentLocals {
+				src := data[i*m : (i+1)*m]
+				dst := v[pl*m : (pl+1)*m]
+				for k := 0; k < m; k++ {
+					dst[k] += src[k]
+				}
+			}
+			p.ChargeCopy(int64(2 * len(part.parentLocals) * m))
+			p.Charge(0, int64(len(part.parentLocals)*m))
+		}
+	}
+}
+
+// sendToParent ships this supernode's below-row values (accumulated
+// updates) to the owners of the matching rows in the parent supernode.
+// Rows whose owner coincides are added locally without a message.
+func (sv *Solver) sendToParent(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	parent := sym.SParent[s]
+	if parent < 0 {
+		return
+	}
+	plan := sv.plans[s]
+	g := sv.DF.Asn.Groups[s]
+	e := g.Index(p.Rank)
+	m := st.m
+	v := st.v[p.Rank][s]
+	for _, part := range plan.sends[e] {
+		payload := make([]float64, len(part.childLocals)*m)
+		for i, cl := range part.childLocals {
+			copy(payload[i*m:(i+1)*m], v[cl*m:(cl+1)*m])
+		}
+		p.ChargeCopy(int64(len(payload)))
+		p.Send(part.dst, fwdXferTag(s), payload)
+	}
+	cls := plan.selfChildLocals[p.Rank]
+	pls := plan.selfParentLocals[p.Rank]
+	pv := st.v[p.Rank][parent]
+	for i, cl := range cls {
+		src := v[cl*m : (cl+1)*m]
+		dst := pv[pls[i]*m : (pls[i]+1)*m]
+		for k := 0; k < m; k++ {
+			dst[k] += src[k]
+		}
+	}
+	p.ChargeCopy(int64(2 * len(cls) * m))
+	p.Charge(0, int64(len(cls)*m))
+}
+
+// forwardPipeline runs the pipelined dense-trapezoid forward elimination
+// of one supernode over its processor ring (paper Figure 3): x-blocks of
+// b solution rows are computed in order by their block-cyclic owners and
+// fanned out neighbor-to-neighbor; every processor applies each x-block
+// to its local panel rows. In the column-priority variant a received
+// block is applied to all local rows at once; in the row-priority variant
+// application to the below-triangle (rectangle) rows is deferred until
+// the triangle is finished.
+func (sv *Solver) forwardPipeline(p *machine.Proc, st *runState, s int) {
+	sym := sv.DF.Sym
+	lay := sv.DF.Layouts[s]
+	g := sv.DF.Asn.Groups[s]
+	q := g.Size()
+	e := g.Index(p.Rank)
+	t := sym.Width(s)
+	m := st.m
+	loc := sv.DF.Local[p.Rank][s]
+	lr := lay.Count(e)
+	v := st.v[p.Rank][s]
+	bsz := lay.B // per-supernode adaptive block size
+	tb := (t + bsz - 1) / bsz
+	tag := fwdPipeTag(s)
+	// In row-priority mode, updates to rows below the triangle are
+	// deferred: collect the x-blocks and replay them afterwards.
+	rectStart := lay.CountBefore(e, t) // first local rectangle row
+	var deferredX [][]float64
+	var deferredR0 []int
+
+	applyBlock := func(r0, bw, fromLocal, toLocal int, xk []float64) {
+		if fromLocal >= toLocal {
+			return
+		}
+		for j := 0; j < bw; j++ {
+			col := loc[(r0+j)*lr:]
+			xj := xk[j*m : (j+1)*m]
+			for li := fromLocal; li < toLocal; li++ {
+				dst := v[li*m : (li+1)*m]
+				lij := col[li]
+				for c := 0; c < m; c++ {
+					dst[c] -= lij * xj[c]
+				}
+			}
+		}
+		entries := int64((toLocal - fromLocal) * bw)
+		p.Charge(entries, 2*entries*int64(m))
+	}
+
+	// For supernodes too narrow to fill the ring pipeline, fan each
+	// x-block out with a binomial-tree broadcast instead of the neighbor
+	// ring (cf. the matching fan-in choice in backwardPipeline).
+	useTree := q > 1 && q-1+tb > tb*ceilLog2(q)
+
+	for k := 0; k < tb; k++ {
+		r0 := k * bsz
+		r1 := r0 + bsz
+		if r1 > t {
+			r1 = t
+		}
+		bw := r1 - r0
+		owner := k % q
+		var xk []float64
+		if e == owner {
+			l0 := lay.Local(r0)
+			xk = v[l0*m : (l0+bw)*m]
+			// solve the bw×bw diagonal triangle in place
+			for j := 0; j < bw; j++ {
+				col := loc[(r0+j)*lr:]
+				xj := xk[j*m : (j+1)*m]
+				inv := 1 / col[l0+j]
+				for c := 0; c < m; c++ {
+					xj[c] *= inv
+				}
+				for i := j + 1; i < bw; i++ {
+					lij := col[l0+i]
+					xi := xk[i*m : (i+1)*m]
+					for c := 0; c < m; c++ {
+						xi[c] -= lij * xj[c]
+					}
+				}
+			}
+			entries := int64(bw * (bw + 1) / 2)
+			p.Charge(entries, 2*entries*int64(m)+int64(bw*m))
+			if useTree {
+				p.Bcast(g, owner, tag, xk)
+			} else if q > 1 {
+				p.Send(g.Ranks[(e+1)%q], tag, xk)
+			}
+		} else if useTree {
+			xk = p.Bcast(g, owner, tag, nil)
+		} else {
+			xk = p.Recv(g.Ranks[(e-1+q)%q], tag)
+			if next := (e + 1) % q; next != owner {
+				p.Send(g.Ranks[next], tag, xk)
+			}
+		}
+		from := lay.CountBefore(e, r1)
+		if sv.Opts.RowPriority {
+			applyBlock(r0, bw, from, rectStart, xk)
+			if rectStart < lr {
+				deferredX = append(deferredX, append([]float64(nil), xk...))
+				deferredR0 = append(deferredR0, r0)
+			}
+		} else {
+			applyBlock(r0, bw, from, lr, xk)
+		}
+	}
+	for i, xk := range deferredX {
+		r0 := deferredR0[i]
+		bw := r0 + bsz
+		if bw > t {
+			bw = t
+		}
+		bw -= r0
+		applyBlock(r0, bw, rectStart, lr, xk)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+// This file reproduces the paper's Figure 3: the progression of the
+// pipelined forward-elimination computation over a hypothetical n×t
+// supernode, expressed as the time step at which each b×b box of the
+// trapezoid is used. Three schedules are modeled, ignoring communication
+// delays and assuming unit time per box, exactly as the figure does:
+//
+//   - EREW-PRAM with unlimited processors (Fig. 3a): besides the data
+//     dependencies, at most one box per row and one box per column can be
+//     active in a step (exclusive reads of x_J and exclusive updates of a
+//     row's accumulator).
+//   - Row-priority pipelined with cyclic row mapping (Fig. 3b).
+//   - Column-priority pipelined with cyclic row mapping (Fig. 3c).
+//
+// The simulator drives the quantitative claims the paper draws from the
+// figure: only max(t, n/2) processors can ever be busy, and the pipelined
+// schedules complete in Θ(q + t/b) steps.
+
+// Schedule holds the time step (1-based) at which each box of the
+// trapezoid is used; 0 marks boxes outside the lower trapezoid.
+type Schedule struct {
+	NB, TB int   // row blocks, column blocks
+	Step   []int // row-major NB×TB
+}
+
+// At returns the step of box (i, j).
+func (s *Schedule) At(i, j int) int { return s.Step[i*s.TB+j] }
+
+// Makespan returns the largest step.
+func (s *Schedule) Makespan() int {
+	m := 0
+	for _, v := range s.Step {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxBusy returns the maximum number of boxes active in any single step —
+// a lower bound on the processors needed to follow the schedule.
+func (s *Schedule) MaxBusy() int {
+	count := make(map[int]int)
+	for _, v := range s.Step {
+		if v > 0 {
+			count[v]++
+		}
+	}
+	m := 0
+	for _, c := range count {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// boxes enumerates the trapezoid's boxes: rows 0..nb-1, cols 0..tb-1 with
+// j <= i (the diagonal boxes are the triangular solves).
+func boxes(nb, tb int) [][2]int {
+	var out [][2]int
+	for i := 0; i < nb; i++ {
+		for j := 0; j <= i && j < tb; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// ScheduleEREW computes the Fig. 3a schedule on an unlimited-processor
+// EREW-PRAM: box (i,j) runs as soon as (i,j-1) and the diagonal box (j,j)
+// are done, subject to one active box per row and per column.
+func ScheduleEREW(nb, tb int) *Schedule {
+	s := &Schedule{NB: nb, TB: tb, Step: make([]int, nb*tb)}
+	done := func(i, j int) int { return s.Step[i*s.TB+j] }
+	remaining := boxes(nb, tb)
+	for step := 1; len(remaining) > 0; step++ {
+		rowBusy := make(map[int]bool)
+		colBusy := make(map[int]bool)
+		var next [][2]int
+		var fired [][2]int
+		for _, b := range remaining {
+			i, j := b[0], b[1]
+			ready := true
+			if j > 0 && done(i, j-1) == 0 {
+				ready = false
+			}
+			if i != j && done(j, j) == 0 {
+				ready = false
+			}
+			if ready && !rowBusy[i] && !colBusy[j] {
+				rowBusy[i] = true
+				colBusy[j] = true
+				fired = append(fired, b)
+			} else {
+				next = append(next, b)
+			}
+		}
+		for _, b := range fired {
+			s.Step[b[0]*s.TB+b[1]] = step
+		}
+		remaining = next
+	}
+	return s
+}
+
+// SchedulePipelined computes the Fig. 3b/3c schedules: rows are mapped
+// cyclically onto q processors, each processor executes one box per step
+// in its priority order (row-priority finishes a row before starting the
+// next; column-priority finishes a column first), and box (i,j) still
+// requires (i,j-1) and the diagonal box (j,j).
+func SchedulePipelined(nb, tb, q int, rowPriority bool) *Schedule {
+	s := &Schedule{NB: nb, TB: tb, Step: make([]int, nb*tb)}
+	done := func(i, j int) int { return s.Step[i*s.TB+j] }
+	// per-processor ordered work lists
+	lists := make([][][2]int, q)
+	for _, b := range boxes(nb, tb) {
+		e := b[0] % q
+		lists[e] = append(lists[e], b)
+	}
+	for e := range lists {
+		l := lists[e]
+		less := func(a, b [2]int) bool {
+			if rowPriority {
+				if a[0] != b[0] {
+					return a[0] < b[0]
+				}
+				return a[1] < b[1]
+			}
+			if a[1] != b[1] {
+				return a[1] < b[1]
+			}
+			return a[0] < b[0]
+		}
+		for i := 1; i < len(l); i++ {
+			for j := i; j > 0 && less(l[j], l[j-1]); j-- {
+				l[j], l[j-1] = l[j-1], l[j]
+			}
+		}
+	}
+	pos := make([]int, q)
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	for step := 1; total > 0; step++ {
+		type fire struct{ e, i, j int }
+		var fired []fire
+		for e := 0; e < q; e++ {
+			if pos[e] >= len(lists[e]) {
+				continue
+			}
+			b := lists[e][pos[e]]
+			i, j := b[0], b[1]
+			if j > 0 && done(i, j-1) == 0 {
+				continue
+			}
+			if i != j && done(j, j) == 0 {
+				continue
+			}
+			fired = append(fired, fire{e, i, j})
+		}
+		for _, f := range fired {
+			s.Step[f.i*s.TB+f.j] = step
+			pos[f.e]++
+			total--
+		}
+	}
+	return s
+}

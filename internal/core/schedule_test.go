@@ -1,0 +1,131 @@
+package core
+
+import "testing"
+
+// TestScheduleFigure3 checks the structural claims the paper draws from
+// Figure 3.
+func TestScheduleFigure3(t *testing.T) {
+	nb, tb := 8, 4 // n = 2t, as in the figure
+	s := ScheduleEREW(nb, tb)
+	// every trapezoid box scheduled, off-trapezoid untouched
+	for i := 0; i < nb; i++ {
+		for j := 0; j < tb; j++ {
+			if j <= i && s.At(i, j) == 0 {
+				t.Fatalf("box (%d,%d) never scheduled", i, j)
+			}
+			if j > i && s.At(i, j) != 0 {
+				t.Fatalf("box (%d,%d) outside trapezoid scheduled", i, j)
+			}
+		}
+	}
+	// the EREW wave: at most max(t, n/2) boxes busy at once
+	if mb := s.MaxBusy(); mb > max(tb, nb/2) {
+		t.Fatalf("EREW busy bound violated: %d > max(%d,%d)", mb, tb, nb/2)
+	}
+	// dependencies respected
+	checkDeps := func(s *Schedule) {
+		t.Helper()
+		for i := 0; i < s.NB; i++ {
+			for j := 0; j <= i && j < s.TB; j++ {
+				if j > 0 && s.At(i, j) <= s.At(i, j-1) {
+					t.Fatalf("box (%d,%d) before its row predecessor", i, j)
+				}
+				if i != j && s.At(i, j) <= s.At(j, j) {
+					t.Fatalf("box (%d,%d) before diagonal (%d,%d)", i, j, j, j)
+				}
+			}
+		}
+	}
+	checkDeps(s)
+	// pipelined schedules on 4 processors (the figure's setting)
+	col := SchedulePipelined(nb, tb, 4, false)
+	row := SchedulePipelined(nb, tb, 4, true)
+	checkDeps(col)
+	checkDeps(row)
+	// a processor never runs two boxes in one step
+	perStep := func(s *Schedule, q int) {
+		t.Helper()
+		busy := make(map[[2]int]bool) // (step, proc)
+		for i := 0; i < s.NB; i++ {
+			for j := 0; j <= i && j < s.TB; j++ {
+				key := [2]int{s.At(i, j), i % q}
+				if busy[key] {
+					t.Fatalf("proc %d does two boxes at step %d", i%q, s.At(i, j))
+				}
+				busy[key] = true
+			}
+		}
+	}
+	perStep(col, 4)
+	perStep(row, 4)
+	// pipelined makespan is Θ(q + work/q): with q=4 and 26 boxes it cannot
+	// beat ceil(26/4) and must stay well below the serial 26
+	boxesTotal := 0
+	for i := 0; i < nb; i++ {
+		for j := 0; j <= i && j < tb; j++ {
+			boxesTotal++
+		}
+	}
+	for _, s := range []*Schedule{col, row} {
+		if s.Makespan() < (boxesTotal+3)/4 {
+			t.Fatalf("makespan %d below the work bound", s.Makespan())
+		}
+		if s.Makespan() >= boxesTotal {
+			t.Fatalf("pipelined schedule is serial: %d steps", s.Makespan())
+		}
+	}
+}
+
+func TestScheduleSingleProc(t *testing.T) {
+	s := SchedulePipelined(6, 3, 1, false)
+	// single processor: strictly serial, one box per step
+	seen := make(map[int]bool)
+	n := 0
+	for i := 0; i < 6; i++ {
+		for j := 0; j <= i && j < 3; j++ {
+			st := s.At(i, j)
+			if seen[st] {
+				t.Fatalf("two boxes at step %d on one processor", st)
+			}
+			seen[st] = true
+			n++
+		}
+	}
+	if s.Makespan() != n {
+		t.Fatalf("serial makespan %d, want %d", s.Makespan(), n)
+	}
+}
+
+func TestScheduleColumnVsRowPriority(t *testing.T) {
+	// In column-priority the whole first column finishes before any
+	// second-column box; in row-priority the first processor's second-row
+	// work interleaves earlier.
+	col := SchedulePipelined(8, 4, 4, false)
+	maxCol0 := 0
+	minCol1 := 1 << 30
+	for i := 0; i < 8; i++ {
+		if col.At(i, 0) > maxCol0 {
+			maxCol0 = col.At(i, 0)
+		}
+		if i >= 1 && col.At(i, 1) > 0 && col.At(i, 1) < minCol1 {
+			minCol1 = col.At(i, 1)
+		}
+	}
+	// column-priority: each processor drains column 0 before column 1,
+	// so column 1 activity cannot finish before column 0 on any proc;
+	// makespans of the two variants may differ
+	row := SchedulePipelined(8, 4, 4, true)
+	if col.Makespan() <= 0 || row.Makespan() <= 0 {
+		t.Fatal("empty schedules")
+	}
+	if minCol1 < 2 {
+		t.Fatal("column 1 cannot start at step 1 (depends on diagonal 0)")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sptrsv/internal/machine"
+	"sptrsv/internal/sparse"
+)
+
+const (
+	tagSyncStart = 5 << 28
+	tagSyncEnd   = 6 << 28
+)
+
+// Solve performs the complete parallel forward elimination and back
+// substitution on the given machine: given B (row-major N×M, in the
+// postordered ordering of the symbolic factor), it returns X with
+// A·X = B, along with the virtual-time statistics of the combined
+// FBsolve phase (the quantity the paper's tables report).
+//
+// The machine must have exactly Asn.P processors. Clocks are not reset;
+// the phase is measured between two global barriers, so Solve composes
+// with a preceding factorization/redistribution on the same machine.
+func (sv *Solver) Solve(mach *machine.Machine, b *sparse.Block) (*sparse.Block, Stats) {
+	df := sv.DF
+	sym := df.Sym
+	if mach.P != df.Asn.P {
+		panic("core: machine size does not match the mapping")
+	}
+	if b.N != sym.N {
+		panic("core: RHS size mismatch")
+	}
+	st := sv.newRunState(b.M)
+	x := sparse.NewBlock(sym.N, b.M)
+	all := machine.Range(0, df.Asn.P)
+	flops0 := mach.TotalFlops()
+	comm0 := mach.TotalCommTime()
+	mach.Run(func(p *machine.Proc) {
+		p.Barrier(all, tagSyncStart)
+		st.markClocks[p.Rank] = p.Clock()
+		mine := df.Asn.ProcSupernodes(p.Rank)
+		// forward elimination: leaves to root
+		for _, s := range mine {
+			var t0 float64
+			if sv.Trace != nil {
+				t0 = p.Clock()
+			}
+			sv.initSupernodeRHS(p, st, s, b)
+			sv.collectChildren(p, st, s)
+			sv.forwardPipeline(p, st, s)
+			sv.sendToParent(p, st, s)
+			if sv.Trace != nil {
+				sv.Trace(p.Rank, s, TraceForward, t0, p.Clock())
+			}
+		}
+		// back substitution: root to leaves
+		for i := len(mine) - 1; i >= 0; i-- {
+			s := mine[i]
+			var t0 float64
+			if sv.Trace != nil {
+				t0 = p.Clock()
+			}
+			sv.recvFromParent(p, st, s)
+			sv.backwardPipeline(p, st, s)
+			sv.sendToChildren(p, st, s)
+			sv.extractSolution(p, st, s, x)
+			if sv.Trace != nil {
+				sv.Trace(p.Rank, s, TraceBackward, t0, p.Clock())
+			}
+		}
+		p.Barrier(all, tagSyncEnd)
+		st.endClocks[p.Rank] = p.Clock()
+	})
+	return x, Stats{
+		Time:     maxOf(st.endClocks) - maxOf(st.markClocks),
+		Flops:    mach.TotalFlops() - flops0,
+		CommTime: mach.TotalCommTime() - comm0,
+	}
+}
+
+// SolveSequentialTime returns the virtual time the cost model assigns to
+// a sequential (p=1) forward+backward solve with m right-hand sides: each
+// factor entry is touched once per sweep (2·nnz(L) element touches) and
+// contributes 2m flops, plus one division per column per sweep. This is
+// the T_S used in speedup and efficiency calculations.
+func SolveSequentialTime(nnzL, n int64, m int, model machine.CostModel) float64 {
+	entries := 2 * nnzL // forward + backward sweeps
+	flops := 2*entries*int64(m) + 2*n*int64(m)
+	return float64(entries)*model.Tm + float64(flops)*model.Tc
+}
+
+func maxOf(xs []float64) float64 {
+	mx := xs[0]
+	for _, v := range xs[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

@@ -1,0 +1,207 @@
+// Package dense provides the small dense kernels that supernodal sparse
+// factorization and triangular solution reduce to: in-place Cholesky,
+// partial (frontal) Cholesky with Schur-complement update, triangular
+// solves, and panel-times-block updates.
+//
+// Conventions: matrix panels are column-major with an explicit leading
+// dimension lda (entry (i,j) at a[j*lda+i]), matching the per-supernode
+// trapezoid storage. Right-hand-side blocks are row-major n×m (the M
+// values of one matrix row are contiguous), so multi-RHS updates stream
+// over contiguous memory — the BLAS-3 effect the paper exploits for
+// NRHS > 1.
+package dense
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPD is returned when a pivot is not strictly positive.
+var ErrNotPD = errors.New("dense: matrix not positive definite")
+
+// Cholesky factors the leading n×n block of the column-major matrix a
+// (leading dimension lda) in place: on return the lower triangle holds L
+// with A = L·Lᵀ. The strictly upper triangle is not referenced.
+func Cholesky(a []float64, lda, n int) error {
+	return PartialCholesky(a, lda, n, n)
+}
+
+// PartialCholesky factors the first t columns of the symmetric n×n matrix
+// stored in the lower triangle of a (column-major, leading dimension lda)
+// and applies the Schur-complement update to the trailing (n−t)×(n−t)
+// block: on return columns 0..t-1 hold the first t columns of L and the
+// trailing block holds A22 − L21·L21ᵀ. This is exactly the computation a
+// multifrontal method performs on a frontal matrix.
+func PartialCholesky(a []float64, lda, n, t int) error {
+	for j := 0; j < t; j++ {
+		cj := a[j*lda:]
+		d := cj[j]
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPD
+		}
+		d = math.Sqrt(d)
+		cj[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			cj[i] *= inv
+		}
+		// rank-1 update of the trailing lower triangle
+		for k := j + 1; k < n; k++ {
+			ljk := cj[k]
+			if ljk == 0 {
+				continue
+			}
+			ck := a[k*lda:]
+			for i := k; i < n; i++ {
+				ck[i] -= cj[i] * ljk
+			}
+		}
+	}
+	return nil
+}
+
+// SolveLowerRM solves L·X = B in place, where L is the leading t×t lower
+// triangle of the column-major panel l (leading dimension lda) and B is a
+// row-major t×m block overwritten with X.
+func SolveLowerRM(l []float64, lda, t int, b []float64, m int) {
+	for j := 0; j < t; j++ {
+		cj := l[j*lda:]
+		bj := b[j*m : (j+1)*m]
+		inv := 1 / cj[j]
+		for c := 0; c < m; c++ {
+			bj[c] *= inv
+		}
+		for i := j + 1; i < t; i++ {
+			lij := cj[i]
+			if lij == 0 {
+				continue
+			}
+			bi := b[i*m : (i+1)*m]
+			for c := 0; c < m; c++ {
+				bi[c] -= lij * bj[c]
+			}
+		}
+	}
+}
+
+// SolveLowerTransRM solves Lᵀ·X = B in place (B row-major t×m).
+func SolveLowerTransRM(l []float64, lda, t int, b []float64, m int) {
+	for j := t - 1; j >= 0; j-- {
+		cj := l[j*lda:]
+		bj := b[j*m : (j+1)*m]
+		for i := j + 1; i < t; i++ {
+			lij := cj[i]
+			if lij == 0 {
+				continue
+			}
+			bi := b[i*m : (i+1)*m]
+			for c := 0; c < m; c++ {
+				bj[c] -= lij * bi[c]
+			}
+		}
+		inv := 1 / cj[j]
+		for c := 0; c < m; c++ {
+			bj[c] *= inv
+		}
+	}
+}
+
+// GemmSubRM computes C -= A·B, where A is a rows×cols column-major panel
+// (leading dimension lda), and B (cols×m) and C (rows×m) are row-major.
+// This is the forward-elimination rectangular update
+// b_below -= L21 · x_top.
+func GemmSubRM(a []float64, lda, rows, cols int, b []float64, c []float64, m int) {
+	for j := 0; j < cols; j++ {
+		cj := a[j*lda:]
+		bj := b[j*m : (j+1)*m]
+		for i := 0; i < rows; i++ {
+			aij := cj[i]
+			if aij == 0 {
+				continue
+			}
+			ci := c[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				ci[k] -= aij * bj[k]
+			}
+		}
+	}
+}
+
+// GemmTransSubRM computes C -= Aᵀ·B, where A is a rows×cols column-major
+// panel (leading dimension lda), B (rows×m) and C (cols×m) row-major.
+// This is the back-substitution update x_top -= L21ᵀ · x_below.
+func GemmTransSubRM(a []float64, lda, rows, cols int, b []float64, c []float64, m int) {
+	for j := 0; j < cols; j++ {
+		cj := a[j*lda:]
+		outj := c[j*m : (j+1)*m]
+		for i := 0; i < rows; i++ {
+			aij := cj[i]
+			if aij == 0 {
+				continue
+			}
+			bi := b[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				outj[k] -= aij * bi[k]
+			}
+		}
+	}
+}
+
+// SyrkSub computes C -= A·Aᵀ restricted to the lower triangle, where A is
+// rows×cols column-major (lda) and C is rows×rows column-major (ldc).
+func SyrkSub(a []float64, lda, rows, cols int, c []float64, ldc int) {
+	for j := 0; j < cols; j++ {
+		cj := a[j*lda:]
+		for k := 0; k < rows; k++ {
+			ajk := cj[k]
+			if ajk == 0 {
+				continue
+			}
+			ck := c[k*ldc:]
+			for i := k; i < rows; i++ {
+				ck[i] -= cj[i] * ajk
+			}
+		}
+	}
+}
+
+// MulLowerRM computes Y = L·X for the t×t lower triangle of l (column-
+// major, lda), X and Y row-major t×m. Used by tests as the inverse check
+// of SolveLowerRM.
+func MulLowerRM(l []float64, lda, t int, x []float64, y []float64, m int) {
+	for i := 0; i < t; i++ {
+		yi := y[i*m : (i+1)*m]
+		for c := 0; c < m; c++ {
+			yi[c] = 0
+		}
+		for j := 0; j <= i; j++ {
+			lij := l[j*lda+i]
+			if lij == 0 {
+				continue
+			}
+			xj := x[j*m : (j+1)*m]
+			for c := 0; c < m; c++ {
+				yi[c] += lij * xj[c]
+			}
+		}
+	}
+}
+
+// SolveSPDRowMajor solves A·X = B for a dense symmetric positive definite
+// row-major n×n matrix, overwriting B (row-major n×m). Reference oracle
+// for the sparse solvers; O(n³).
+func SolveSPDRowMajor(a []float64, n int, b []float64, m int) error {
+	// copy lower triangle to column-major workspace
+	w := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			w[j*n+i] = a[i*n+j]
+		}
+	}
+	if err := Cholesky(w, n, n); err != nil {
+		return err
+	}
+	SolveLowerRM(w, n, n, b, m)
+	SolveLowerTransRM(w, n, n, b, m)
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package dist provides the index algebra of one- and two-dimensional
+// block-cyclic data distributions. The paper's triangular solvers require
+// a 1-D block-cyclic partitioning of each supernode (row-wise for L,
+// column-wise for U=Lᵀ) while the factorization uses a 2-D block-cyclic
+// partitioning over a logical √q×√q processor grid; package redist
+// converts between the two.
+package dist
+
+import "fmt"
+
+// Cyclic1D describes n items dealt to q processors in blocks of b:
+// item i belongs to processor (i/b) mod q.
+type Cyclic1D struct {
+	N, B, Q int
+}
+
+// NewCyclic1D validates and constructs a 1-D block-cyclic layout.
+func NewCyclic1D(n, b, q int) Cyclic1D {
+	if n < 0 || b <= 0 || q <= 0 {
+		panic(fmt.Sprintf("dist: invalid Cyclic1D(n=%d,b=%d,q=%d)", n, b, q))
+	}
+	return Cyclic1D{N: n, B: b, Q: q}
+}
+
+// Owner returns the processor index owning item i.
+func (d Cyclic1D) Owner(i int) int { return (i / d.B) % d.Q }
+
+// Local returns the local index of item i on its owner.
+func (d Cyclic1D) Local(i int) int {
+	blk := i / d.B
+	return (blk/d.Q)*d.B + i%d.B
+}
+
+// Count returns how many items processor q owns.
+func (d Cyclic1D) Count(q int) int {
+	fullCycles := d.N / (d.B * d.Q)
+	c := fullCycles * d.B
+	rem := d.N - fullCycles*d.B*d.Q // items in the final partial cycle
+	start := q * d.B
+	switch {
+	case rem > start+d.B:
+		c += d.B
+	case rem > start:
+		c += rem - start
+	}
+	return c
+}
+
+// Global returns the global index of the local-th item on processor q.
+func (d Cyclic1D) Global(q, local int) int {
+	blk := local / d.B
+	return (blk*d.Q+q)*d.B + local%d.B
+}
+
+// CountBefore returns how many items with global index < g processor q
+// owns — the local index of the first owned item at or beyond g.
+func (d Cyclic1D) CountBefore(q, g int) int {
+	return Cyclic1D{N: g, B: d.B, Q: d.Q}.Count(q)
+}
+
+// NumBlocks returns the number of (possibly partial) blocks of the layout.
+func (d Cyclic1D) NumBlocks() int { return (d.N + d.B - 1) / d.B }
+
+// BlockOwner returns the owner of block index k (items k·b .. k·b+b-1).
+func (d Cyclic1D) BlockOwner(k int) int { return k % d.Q }
+
+// BlockBounds returns the [lo,hi) global item range of block k.
+func (d Cyclic1D) BlockBounds(k int) (int, int) {
+	lo := k * d.B
+	hi := lo + d.B
+	if hi > d.N {
+		hi = d.N
+	}
+	return lo, hi
+}
+
+// AdaptiveBlock returns the block size to use when distributing n items
+// over q processors with a preferred block size bmax: the largest size
+// ≤ bmax that still gives every processor at least one block (never less
+// than 1). A fixed block size would leave most processors of a large
+// group without any rows of a small supernode, collapsing the pipeline's
+// effective parallelism.
+func AdaptiveBlock(n, q, bmax int) int {
+	b := (n + q - 1) / q // round up: prefer fewer, fuller blocks
+	if b > bmax {
+		b = bmax
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// GridShape factors a power-of-two q into pr×pc with pr >= pc,
+// pr/pc <= 2 — the logical processor grid of the 2-D distribution.
+func GridShape(q int) (pr, pc int) {
+	if q <= 0 || q&(q-1) != 0 {
+		panic(fmt.Sprintf("dist: grid size %d not a power of two", q))
+	}
+	d := 0
+	for 1<<uint(d) < q {
+		d++
+	}
+	pr = 1 << uint((d+1)/2)
+	pc = q / pr
+	return pr, pc
+}
+
+// Cyclic2D describes a rows×cols matrix dealt to a pr×pc processor grid in
+// b×b blocks: entry (i,j) belongs to grid processor
+// ((i/b) mod pr, (j/b) mod pc), linearized row-major as r·pc + c.
+type Cyclic2D struct {
+	Rows, Cols, B, PR, PC int
+}
+
+// NewCyclic2D validates and constructs a 2-D block-cyclic layout.
+func NewCyclic2D(rows, cols, b, pr, pc int) Cyclic2D {
+	if rows < 0 || cols < 0 || b <= 0 || pr <= 0 || pc <= 0 {
+		panic("dist: invalid Cyclic2D")
+	}
+	return Cyclic2D{Rows: rows, Cols: cols, B: b, PR: pr, PC: pc}
+}
+
+// RowLayout returns the 1-D layout of the row dimension.
+func (d Cyclic2D) RowLayout() Cyclic1D { return Cyclic1D{N: d.Rows, B: d.B, Q: d.PR} }
+
+// ColLayout returns the 1-D layout of the column dimension.
+func (d Cyclic2D) ColLayout() Cyclic1D { return Cyclic1D{N: d.Cols, B: d.B, Q: d.PC} }
+
+// Owner returns the linearized grid index owning entry (i,j).
+func (d Cyclic2D) Owner(i, j int) int {
+	return d.RowLayout().Owner(i)*d.PC + d.ColLayout().Owner(j)
+}
+
+// LocalShape returns the number of local rows and columns on grid
+// processor (r,c).
+func (d Cyclic2D) LocalShape(r, c int) (int, int) {
+	return d.RowLayout().Count(r), d.ColLayout().Count(c)
+}

@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclic1DRoundTrip(t *testing.T) {
+	d := NewCyclic1D(23, 3, 4)
+	counts := make([]int, 4)
+	for i := 0; i < d.N; i++ {
+		q := d.Owner(i)
+		l := d.Local(i)
+		if g := d.Global(q, l); g != i {
+			t.Fatalf("round trip: i=%d -> (q=%d,l=%d) -> %d", i, q, l, g)
+		}
+		counts[q]++
+	}
+	for q := 0; q < 4; q++ {
+		if counts[q] != d.Count(q) {
+			t.Fatalf("Count(%d) = %d, enumeration says %d", q, d.Count(q), counts[q])
+		}
+	}
+}
+
+func TestCyclic1DQuick(t *testing.T) {
+	f := func(n16 uint16, b8, q8 uint8) bool {
+		n := int(n16 % 500)
+		b := int(b8%8) + 1
+		q := 1 << (q8 % 4)
+		d := NewCyclic1D(n, b, q)
+		total := 0
+		for r := 0; r < q; r++ {
+			total += d.Count(r)
+		}
+		if total != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if d.Global(d.Owner(i), d.Local(i)) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclic1DLocalMonotone(t *testing.T) {
+	d := NewCyclic1D(40, 4, 2)
+	// on each processor, local indices of owned items are 0,1,2,... in
+	// global order
+	for q := 0; q < d.Q; q++ {
+		next := 0
+		for i := 0; i < d.N; i++ {
+			if d.Owner(i) != q {
+				continue
+			}
+			if d.Local(i) != next {
+				t.Fatalf("proc %d item %d local %d, want %d", q, i, d.Local(i), next)
+			}
+			next++
+		}
+	}
+}
+
+func TestCountBefore(t *testing.T) {
+	d := NewCyclic1D(30, 3, 4)
+	for q := 0; q < 4; q++ {
+		for g := 0; g <= 30; g++ {
+			want := 0
+			for i := 0; i < g; i++ {
+				if d.Owner(i) == q {
+					want++
+				}
+			}
+			if got := d.CountBefore(q, g); got != want {
+				t.Fatalf("CountBefore(%d,%d) = %d, want %d", q, g, got, want)
+			}
+		}
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	d := NewCyclic1D(10, 4, 2)
+	if d.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d", d.NumBlocks())
+	}
+	if d.BlockOwner(0) != 0 || d.BlockOwner(1) != 1 || d.BlockOwner(2) != 0 {
+		t.Fatal("BlockOwner wrong")
+	}
+	lo, hi := d.BlockBounds(2)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("BlockBounds(2) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2}, 16: {4, 4}, 64: {8, 8}}
+	for q, want := range cases {
+		pr, pc := GridShape(q)
+		if pr != want[0] || pc != want[1] {
+			t.Fatalf("GridShape(%d) = %d×%d, want %d×%d", q, pr, pc, want[0], want[1])
+		}
+	}
+}
+
+func TestCyclic2DOwnership(t *testing.T) {
+	d := NewCyclic2D(9, 7, 2, 2, 2)
+	// entry (i,j) owner grid: ((i/2)%2, (j/2)%2)
+	if d.Owner(0, 0) != 0 {
+		t.Fatal("owner(0,0)")
+	}
+	if d.Owner(2, 0) != 2 { // row block 1 -> grid row 1 -> index 1*2+0
+		t.Fatalf("owner(2,0) = %d", d.Owner(2, 0))
+	}
+	if d.Owner(5, 3) != 0 { // row block 2 -> grid row 0; col block 1 -> grid col 1 -> 0*2+1=1
+		if d.Owner(5, 3) != 1 {
+			t.Fatalf("owner(5,3) = %d", d.Owner(5, 3))
+		}
+	}
+	// total local shapes must cover the matrix
+	total := 0
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			lr, lc := d.LocalShape(r, c)
+			total += lr * lc
+		}
+	}
+	if total != 9*7 {
+		t.Fatalf("local shapes cover %d entries, want 63", total)
+	}
+}
+
+func TestCyclic2DConsistentWith1D(t *testing.T) {
+	d := NewCyclic2D(20, 16, 3, 4, 2)
+	rl, cl := d.RowLayout(), d.ColLayout()
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			want := rl.Owner(i)*d.PC + cl.Owner(j)
+			if d.Owner(i, j) != want {
+				t.Fatalf("Owner(%d,%d) = %d, want %d", i, j, d.Owner(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAdaptiveBlock(t *testing.T) {
+	cases := []struct{ n, q, bmax, want int }{
+		{100, 4, 8, 8},  // plenty of rows: keep preferred size
+		{63, 32, 8, 2},  // shrink so every processor gets a block
+		{63, 256, 8, 1}, // fewer rows than processors: floor at 1
+		{8, 1, 8, 8},
+		{0, 4, 8, 1},
+	}
+	for _, c := range cases {
+		if got := AdaptiveBlock(c.n, c.q, c.bmax); got != c.want {
+			t.Fatalf("AdaptiveBlock(%d,%d,%d) = %d, want %d", c.n, c.q, c.bmax, got, c.want)
+		}
+	}
+	// invariant: when n >= q, at least half the processors own rows
+	// (round-up blocking trades some spread for fuller blocks)
+	for n := 1; n < 200; n += 7 {
+		for _, q := range []int{1, 2, 4, 8, 16} {
+			if n < q {
+				continue
+			}
+			b := AdaptiveBlock(n, q, 8)
+			d := NewCyclic1D(n, b, q)
+			owners := 0
+			for r := 0; r < q; r++ {
+				if d.Count(r) > 0 {
+					owners++
+				}
+			}
+			if owners < q/2 {
+				t.Fatalf("n=%d q=%d b=%d: only %d of %d processors own rows", n, q, b, owners, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mesh"
+)
+
+func prepSmall(t testing.TB) *Prepared {
+	t.Helper()
+	return Prepare(mesh.Problem{
+		Name: "g2d-13", A: mesh.Grid2D(13, 13), Geom: mesh.Grid2DGeometry(13, 13),
+	})
+}
+
+func TestRunPipelineSmall(t *testing.T) {
+	pr := prepSmall(t)
+	for _, p := range []int{1, 4} {
+		cfg := DefaultConfig(p)
+		cfg.B = 4
+		res, err := Run(pr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Residual > 1e-10 {
+			t.Fatalf("p=%d: residual %g", p, res.Residual)
+		}
+		if res.Factor.Time <= 0 || res.Solve.Time <= 0 {
+			t.Fatalf("p=%d: missing stats %+v", p, res)
+		}
+		if res.Factor.Time < res.Solve.Time {
+			t.Fatalf("p=%d: factorization (%g) faster than solve (%g)?",
+				p, res.Factor.Time, res.Solve.Time)
+		}
+	}
+}
+
+func TestSolveOnlyMultipleNRHS(t *testing.T) {
+	pr := prepSmall(t)
+	cfg := DefaultConfig(4)
+	cfg.B = 4
+	results, err := SolveOnly(pr, cfg, []int{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// MFLOPS must grow with NRHS (the paper's BLAS-3 effect)
+	if !(results[2].Solve.MFLOPS() > results[0].Solve.MFLOPS()) {
+		t.Fatalf("MFLOPS did not grow with NRHS: %g vs %g",
+			results[0].Solve.MFLOPS(), results[2].Solve.MFLOPS())
+	}
+	for _, r := range results {
+		if r.Residual > 1e-10 {
+			t.Fatalf("NRHS=%d residual %g", r.NRHS, r.Residual)
+		}
+	}
+}
+
+func TestFig7BlockFormat(t *testing.T) {
+	pr := prepSmall(t)
+	s, err := Fig7Block(pr, 4, []int{1, 10}, machine.T3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Factorization Opcount", "Time to redistribute L",
+		"NRHS", "FBsolve time", "FBsolve MFLOPS"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Fig7 block missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFig8SeriesFormat(t *testing.T) {
+	pr := prepSmall(t)
+	s, err := Fig8Series(pr, []int{1, 2, 4}, []int{1, 5}, machine.T3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "NRHS=1") || !strings.Contains(s, "NRHS=5") {
+		t.Fatalf("Fig8 series malformed:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines < 5 {
+		t.Fatalf("expected ≥5 lines, got %d:\n%s", lines, s)
+	}
+}
+
+func TestPrepareDenseSolvable(t *testing.T) {
+	pr := PrepareDense(48)
+	if pr.Sym.NSuper != 1 {
+		t.Fatal("dense problem must be one supernode")
+	}
+	cfg := DefaultConfig(4)
+	cfg.B = 4
+	res, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-8 {
+		t.Fatalf("dense residual %g", res.Residual)
+	}
+}
+
+func TestSuitePreparedAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite preparation is moderately expensive")
+	}
+	suite := SuitePrepared()
+	if len(suite) != 5 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	for _, pr := range suite {
+		if err := pr.Sym.Validate(); err != nil {
+			t.Fatalf("%s: %v", pr.Name, err)
+		}
+	}
+}
+
+func TestRowPriorityPipelineEndToEnd(t *testing.T) {
+	pr := prepSmall(t)
+	cfg := DefaultConfig(8)
+	cfg.B = 2
+	cfg.RowPriority = true
+	res, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("row-priority residual %g", res.Residual)
+	}
+}
+
+func TestConfigBFactFallback(t *testing.T) {
+	cfg := Config{P: 2, B: 4}
+	if cfg.bFact() != 4 {
+		t.Fatalf("bFact fallback = %d, want 4", cfg.bFact())
+	}
+	cfg.BFact = 16
+	if cfg.bFact() != 16 {
+		t.Fatalf("bFact = %d, want 16", cfg.bFact())
+	}
+}
+
+func TestPrepareVsPrepareExact(t *testing.T) {
+	prob := mesh.Problem{
+		Name: "g", A: mesh.Grid2D(20, 20), Geom: mesh.Grid2DGeometry(20, 20),
+	}
+	amalg := Prepare(prob)
+	exact := PrepareExact(prob)
+	if amalg.Sym.NSuper >= exact.Sym.NSuper {
+		t.Fatalf("amalgamation did not reduce supernodes: %d vs %d",
+			amalg.Sym.NSuper, exact.Sym.NSuper)
+	}
+	if amalg.Sym.NnzL < exact.Sym.NnzL {
+		t.Fatal("amalgamation cannot reduce stored entries")
+	}
+	// both must solve correctly
+	for _, pr := range []*Prepared{amalg, exact} {
+		res, err := Run(pr, DefaultConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Residual > 1e-10 {
+			t.Fatalf("residual %g", res.Residual)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Group is an ordered set of processor ranks acting as a communication
+// context (a subcube in the paper's subtree-to-subcube mapping). Its size
+// must be a power of two; the position of a rank within Ranks is its
+// "cube index" used by the hypercube collective algorithms below, which
+// follow Kumar, Grama, Gupta & Karypis, "Introduction to Parallel
+// Computing" (the paper's reference [8]).
+type Group struct {
+	Ranks []int
+}
+
+// NewGroup builds a group from the given ranks (order preserved).
+func NewGroup(ranks []int) Group {
+	q := len(ranks)
+	if q == 0 || q&(q-1) != 0 {
+		panic(fmt.Sprintf("machine: group size %d is not a power of two", q))
+	}
+	return Group{Ranks: append([]int(nil), ranks...)}
+}
+
+// Range returns the group {lo, lo+1, ..., lo+size-1}.
+func Range(lo, size int) Group {
+	r := make([]int, size)
+	for i := range r {
+		r[i] = lo + i
+	}
+	return NewGroup(r)
+}
+
+// Size returns the number of processors in the group.
+func (g Group) Size() int { return len(g.Ranks) }
+
+// Dim returns log2(size).
+func (g Group) Dim() int { return bits.TrailingZeros(uint(len(g.Ranks))) }
+
+// Index returns the cube index of rank within the group, or -1.
+func (g Group) Index(rank int) int {
+	for i, r := range g.Ranks {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// Halves splits the group into its lower and upper index halves — the two
+// subcubes assigned to the two children in subtree-to-subcube mapping.
+func (g Group) Halves() (Group, Group) {
+	if g.Size() < 2 {
+		panic("machine: cannot halve a singleton group")
+	}
+	h := g.Size() / 2
+	return Group{Ranks: g.Ranks[:h]}, Group{Ranks: g.Ranks[h:]}
+}
+
+// myIndex returns p's cube index in g, panicking if p is not a member.
+func (p *Proc) myIndex(g Group) int {
+	idx := g.Index(p.Rank)
+	if idx < 0 {
+		panic(fmt.Sprintf("machine: proc %d not in group %v", p.Rank, g.Ranks))
+	}
+	return idx
+}
+
+// Barrier synchronizes the group: on return every member's clock is the
+// maximum clock any member had on entry (dissemination via d rounds of
+// pairwise exchange along hypercube dimensions).
+func (p *Proc) Barrier(g Group, tag int) {
+	if g.Size() == 1 {
+		return
+	}
+	idx := p.myIndex(g)
+	for k := 0; k < g.Dim(); k++ {
+		partner := g.Ranks[idx^(1<<k)]
+		p.Send(partner, tag, nil)
+		p.Recv(partner, tag)
+	}
+}
+
+// Bcast broadcasts data from the member with cube index rootIdx to the
+// whole group along a binomial tree; every member returns the payload.
+func (p *Proc) Bcast(g Group, rootIdx, tag int, data []float64) []float64 {
+	if g.Size() == 1 {
+		return data
+	}
+	idx := p.myIndex(g)
+	rel := idx ^ rootIdx
+	d := g.Dim()
+	mask := (1 << d) - 1
+	for k := d - 1; k >= 0; k-- {
+		mask ^= 1 << k
+		if rel&mask != 0 {
+			continue
+		}
+		partner := g.Ranks[idx^(1<<k)]
+		if rel&(1<<k) == 0 {
+			p.Send(partner, tag, data)
+		} else {
+			data = p.Recv(partner, tag)
+		}
+	}
+	return data
+}
+
+// ReduceSum reduces element-wise sums of equal-length vectors to the
+// member with cube index rootIdx (binomial tree); the root returns the
+// sums, other members return nil. Each pairwise addition charges the
+// compute model.
+func (p *Proc) ReduceSum(g Group, rootIdx, tag int, data []float64) []float64 {
+	if g.Size() == 1 {
+		return data
+	}
+	idx := p.myIndex(g)
+	rel := idx ^ rootIdx
+	acc := append([]float64(nil), data...)
+	for k := 0; k < g.Dim(); k++ {
+		if rel&((1<<k)-1) != 0 {
+			continue
+		}
+		partner := g.Ranks[idx^(1<<k)]
+		if rel&(1<<k) != 0 {
+			p.Send(partner, tag, acc)
+			return nil
+		}
+		in := p.Recv(partner, tag)
+		if len(in) != len(acc) {
+			panic("machine: ReduceSum length mismatch")
+		}
+		for i := range acc {
+			acc[i] += in[i]
+		}
+		p.Charge(int64(2*len(acc)), int64(len(acc)))
+	}
+	return acc
+}
+
+// AllReduceSum computes element-wise sums over the group on every member
+// (d rounds of pairwise exchange-and-add).
+func (p *Proc) AllReduceSum(g Group, tag int, data []float64) []float64 {
+	acc := append([]float64(nil), data...)
+	if g.Size() == 1 {
+		return acc
+	}
+	idx := p.myIndex(g)
+	for k := 0; k < g.Dim(); k++ {
+		partner := g.Ranks[idx^(1<<k)]
+		p.Send(partner, tag, acc)
+		in := p.Recv(partner, tag)
+		if len(in) != len(acc) {
+			panic("machine: AllReduceSum length mismatch")
+		}
+		for i := range acc {
+			acc[i] += in[i]
+		}
+		p.Charge(int64(2*len(acc)), int64(len(acc)))
+	}
+	return acc
+}
+
+// Gather collects every member's payload at the member with cube index
+// rootIdx. The root returns a slice indexed by cube index; others return
+// nil. Binomial-tree gather: round k merges subcubes of size 2^k.
+func (p *Proc) Gather(g Group, rootIdx, tag int, data []float64) [][]float64 {
+	q := g.Size()
+	idx := p.myIndex(g)
+	held := map[int][]float64{idx: append([]float64(nil), data...)}
+	if q > 1 {
+		rel := idx ^ rootIdx
+		for k := 0; k < g.Dim(); k++ {
+			if rel&((1<<k)-1) != 0 {
+				continue
+			}
+			partner := g.Ranks[idx^(1<<k)]
+			if rel&(1<<k) != 0 {
+				idata, fdata := packBuckets(held)
+				p.SendMixed(partner, tag, idata, fdata)
+				return nil
+			}
+			idata, fdata := p.RecvMixed(partner, tag)
+			unpackBuckets(idata, fdata, held)
+		}
+	}
+	if idx != rootIdx {
+		return nil
+	}
+	out := make([][]float64, q)
+	for i, d := range held {
+		out[i] = d
+	}
+	return out
+}
+
+// AllGather collects every member's payload on every member (recursive
+// doubling: d rounds of pairwise exchange of everything held so far).
+// Returns payloads indexed by cube index.
+func (p *Proc) AllGather(g Group, tag int, data []float64) [][]float64 {
+	q := g.Size()
+	idx := p.myIndex(g)
+	held := map[int][]float64{idx: append([]float64(nil), data...)}
+	for k := 0; k < g.Dim(); k++ {
+		partner := g.Ranks[idx^(1<<k)]
+		idata, fdata := packBuckets(held)
+		p.SendMixed(partner, tag, idata, fdata)
+		inI, inF := p.RecvMixed(partner, tag)
+		unpackBuckets(inI, inF, held)
+	}
+	out := make([][]float64, q)
+	for i, d := range held {
+		out[i] = d
+	}
+	return out
+}
+
+// AllToAllPersonalized performs all-to-all personalized communication:
+// parts[i] is this member's payload destined for cube index i (parts[own
+// index] is returned untouched). Returns received payloads indexed by
+// origin cube index. Implemented as the d-round hypercube store-and-
+// forward algorithm: in round k every processor exchanges, with its
+// dimension-k neighbor, all buckets whose destination differs from it in
+// bit k.
+func (p *Proc) AllToAllPersonalized(g Group, tag int, parts [][]float64) [][]float64 {
+	q := g.Size()
+	if len(parts) != q {
+		panic("machine: AllToAllPersonalized needs one part per member")
+	}
+	idx := p.myIndex(g)
+	// bucket key: origin*q + dest
+	held := make(map[int][]float64, q)
+	for dest, d := range parts {
+		held[idx*q+dest] = d
+	}
+	for k := 0; k < g.Dim(); k++ {
+		partner := g.Ranks[idx^(1<<k)]
+		outgoing := make(map[int][]float64)
+		for key, d := range held {
+			dest := key % q
+			if (dest^idx)&(1<<k) != 0 {
+				outgoing[key] = d
+				delete(held, key)
+			}
+		}
+		idata, fdata := packBuckets(outgoing)
+		p.SendMixed(partner, tag, idata, fdata)
+		inI, inF := p.RecvMixed(partner, tag)
+		unpackBuckets(inI, inF, held)
+	}
+	out := make([][]float64, q)
+	for key, d := range held {
+		origin, dest := key/q, key%q
+		if dest != idx {
+			panic("machine: all-to-all routing error")
+		}
+		out[origin] = d
+	}
+	return out
+}
+
+// packBuckets serializes a bucket map into parallel int/float payloads:
+// idata = [key0, len0, key1, len1, ...], fdata = concatenated values.
+// Keys are emitted in ascending order for determinism.
+func packBuckets(buckets map[int][]float64) ([]int, []float64) {
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	// insertion sort: bucket counts are tiny (≤ group size)
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	idata := make([]int, 0, 2*len(keys))
+	var fdata []float64
+	for _, k := range keys {
+		idata = append(idata, k, len(buckets[k]))
+		fdata = append(fdata, buckets[k]...)
+	}
+	return idata, fdata
+}
+
+// unpackBuckets merges a serialized bucket payload into dst.
+func unpackBuckets(idata []int, fdata []float64, dst map[int][]float64) {
+	off := 0
+	for i := 0; i+1 < len(idata); i += 2 {
+		key, n := idata[i], idata[i+1]
+		dst[key] = append([]float64(nil), fdata[off:off+n]...)
+		off += n
+	}
+}

@@ -1,0 +1,417 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewRejectsNonPowerOfTwo(t *testing.T) {
+	for _, p := range []int{0, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", p)
+				}
+			}()
+			New(p, Zero())
+		}()
+	}
+}
+
+func TestSendRecvDataAndTiming(t *testing.T) {
+	m := New(2, CostModel{Ts: 1, Tw: 0.5})
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := p.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				panic("payload corrupted")
+			}
+			// arrival = ts + 3*tw = 2.5
+			if math.Abs(p.Clock()-2.5) > 1e-12 {
+				panic("receiver clock wrong")
+			}
+		}
+	})
+	if math.Abs(m.MaxTime()-2.5) > 1e-12 {
+		t.Fatalf("MaxTime = %g, want 2.5", m.MaxTime())
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	m := New(2, Zero())
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			buf := []float64{42}
+			p.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the message
+		} else {
+			if got := p.Recv(0, 0); got[0] != 42 {
+				panic("send did not copy the buffer")
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	// Two streams sent in one order may be received in the other: MPI-like
+	// tag matching.
+	m := New(2, CostModel{Ts: 1})
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 1, []float64{1})
+			p.Send(1, 2, []float64{2})
+		} else {
+			second := p.Recv(0, 2)
+			first := p.Recv(0, 1)
+			if second[0] != 2 || first[0] != 1 {
+				panic("tag matching returned wrong message")
+			}
+			// clock must end at the later arrival (tag-2 message, t=2),
+			// not move backwards when consuming the earlier one
+			if p.Clock() != 2 {
+				panic("clock wrong after out-of-order receive")
+			}
+		}
+	})
+}
+
+func TestTagMatchingFIFOWithinTag(t *testing.T) {
+	m := New(2, Zero())
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 5, []float64{1})
+			p.Send(1, 5, []float64{2})
+		} else {
+			if p.Recv(0, 5)[0] != 1 || p.Recv(0, 5)[0] != 2 {
+				panic("same-tag messages must be FIFO")
+			}
+		}
+	})
+}
+
+func TestChargeModel(t *testing.T) {
+	m := New(1, CostModel{Tm: 2, Tc: 3})
+	m.Run(func(p *Proc) {
+		p.Charge(10, 100)
+	})
+	if math.Abs(m.MaxTime()-(20+300)) > 1e-12 {
+		t.Fatalf("MaxTime = %g", m.MaxTime())
+	}
+	if m.TotalFlops() != 100 {
+		t.Fatalf("TotalFlops = %d", m.TotalFlops())
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() float64 {
+		m := New(8, T3D())
+		g := Range(0, 8)
+		m.Run(func(p *Proc) {
+			p.Charge(int64(p.Rank*100), int64(p.Rank*1000))
+			p.AllReduceSum(g, 3, []float64{float64(p.Rank)})
+			if p.Rank%2 == 0 {
+				p.Send(p.Rank+1, 9, make([]float64, 64))
+			} else {
+				p.Recv(p.Rank-1, 9)
+			}
+		})
+		return m.MaxTime()
+	}
+	t1 := run()
+	for i := 0; i < 5; i++ {
+		if t2 := run(); t2 != t1 {
+			t.Fatalf("nondeterministic virtual time: %g vs %g", t1, t2)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := New(8, CostModel{Ts: 0.001})
+	g := Range(0, 8)
+	m.Run(func(p *Proc) {
+		p.Elapse(float64(p.Rank)) // rank 7 is the slowest: clock 7
+		p.Barrier(g, 1)
+		if p.Clock() < 7 {
+			panic("barrier did not wait for the slowest processor")
+		}
+	})
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8} {
+		for root := 0; root < q; root++ {
+			m := New(8, Zero())
+			g := Range(0, q)
+			m.Run(func(p *Proc) {
+				if p.Rank >= q {
+					return
+				}
+				var data []float64
+				if g.Index(p.Rank) == root {
+					data = []float64{3.14, float64(root)}
+				}
+				got := p.Bcast(g, root, 5, data)
+				if len(got) != 2 || got[0] != 3.14 || got[1] != float64(root) {
+					panic("bcast payload wrong")
+				}
+			})
+		}
+	}
+}
+
+func TestReduceSumCorrect(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8} {
+		for root := 0; root < q; root += max(1, q/2) {
+			m := New(8, Zero())
+			g := Range(0, q)
+			m.Run(func(p *Proc) {
+				if p.Rank >= q {
+					return
+				}
+				idx := g.Index(p.Rank)
+				v := []float64{float64(idx + 1), float64(idx * idx)}
+				out := p.ReduceSum(g, root, 2, v)
+				if idx == root {
+					sum1, sum2 := 0.0, 0.0
+					for i := 0; i < q; i++ {
+						sum1 += float64(i + 1)
+						sum2 += float64(i * i)
+					}
+					if out[0] != sum1 || out[1] != sum2 {
+						panic("reduce sum wrong")
+					}
+				} else if out != nil {
+					panic("non-root received reduce result")
+				}
+			})
+		}
+	}
+}
+
+func TestAllReduceNonContiguousGroup(t *testing.T) {
+	m := New(8, Zero())
+	g := NewGroup([]int{1, 3, 5, 7})
+	m.Run(func(p *Proc) {
+		if p.Rank%2 == 0 {
+			return
+		}
+		out := p.AllReduceSum(g, 4, []float64{float64(p.Rank)})
+		if out[0] != 1+3+5+7 {
+			panic("allreduce wrong on non-contiguous group")
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	m := New(8, Zero())
+	g := Range(0, 8)
+	m.Run(func(p *Proc) {
+		data := []float64{float64(p.Rank * 10), float64(p.Rank)}
+		out := p.Gather(g, 3, 6, data)
+		if g.Index(p.Rank) == 3 {
+			for i := 0; i < 8; i++ {
+				if out[i][0] != float64(i*10) || out[i][1] != float64(i) {
+					panic("gather payload wrong")
+				}
+			}
+		} else if out != nil {
+			panic("non-root got gather result")
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8} {
+		m := New(8, T3D())
+		g := Range(0, q)
+		m.Run(func(p *Proc) {
+			if p.Rank >= q {
+				return
+			}
+			idx := g.Index(p.Rank)
+			data := make([]float64, idx+1) // distinct lengths per member
+			for i := range data {
+				data[i] = float64(idx*100 + i)
+			}
+			out := p.AllGather(g, 7, data)
+			for o := 0; o < q; o++ {
+				if len(out[o]) != o+1 {
+					panic("allgather length wrong")
+				}
+				for i := range out[o] {
+					if out[o][i] != float64(o*100+i) {
+						panic("allgather content wrong")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllToAllPersonalized(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8} {
+		m := New(8, T3D())
+		g := Range(0, q)
+		m.Run(func(p *Proc) {
+			if p.Rank >= q {
+				return
+			}
+			idx := g.Index(p.Rank)
+			parts := make([][]float64, q)
+			for d := 0; d < q; d++ {
+				parts[d] = []float64{float64(100*idx + d)}
+			}
+			got := p.AllToAllPersonalized(g, 8, parts)
+			for o := 0; o < q; o++ {
+				if len(got[o]) != 1 || got[o][0] != float64(100*o+idx) {
+					panic("all-to-all routed wrong payload")
+				}
+			}
+		})
+	}
+}
+
+func TestAllToAllVariableSizes(t *testing.T) {
+	m := New(4, Zero())
+	g := Range(0, 4)
+	m.Run(func(p *Proc) {
+		idx := g.Index(p.Rank)
+		parts := make([][]float64, 4)
+		for d := 0; d < 4; d++ {
+			part := make([]float64, idx+d) // varying, possibly empty
+			for i := range part {
+				part[i] = float64(idx*1000 + d*10 + i)
+			}
+			parts[d] = part
+		}
+		got := p.AllToAllPersonalized(g, 1, parts)
+		for o := 0; o < 4; o++ {
+			if len(got[o]) != o+idx {
+				panic("all-to-all size wrong")
+			}
+			for i := range got[o] {
+				if got[o][i] != float64(o*1000+idx*10+i) {
+					panic("all-to-all content wrong")
+				}
+			}
+		}
+	})
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := New(2, CostModel{Tc: 1})
+	m.Run(func(p *Proc) { p.Charge(0, 5) })
+	if m.MaxTime() == 0 {
+		t.Fatal("expected nonzero time")
+	}
+	m.Reset()
+	if m.MaxTime() != 0 || m.TotalFlops() != 0 {
+		t.Fatal("Reset did not clear clocks/flops")
+	}
+}
+
+func TestGroupHalves(t *testing.T) {
+	g := Range(4, 8)
+	lo, hi := g.Halves()
+	if lo.Size() != 4 || hi.Size() != 4 || lo.Ranks[0] != 4 || hi.Ranks[0] != 8 {
+		t.Fatalf("halves wrong: %v %v", lo.Ranks, hi.Ranks)
+	}
+}
+
+func TestCommTimeAccounted(t *testing.T) {
+	m := New(2, CostModel{Ts: 1})
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 0, nil)
+		} else {
+			p.Recv(0, 0)
+		}
+	})
+	// sender pays ts=1; receiver waits until arrival (1s)
+	if m.TotalCommTime() < 1.999 {
+		t.Fatalf("TotalCommTime = %g, want ~2", m.TotalCommTime())
+	}
+}
+
+func TestRunPropagatesPanicWithRank(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil || !strings.Contains(e.(string), "processor 1 panicked") {
+			t.Fatalf("panic not propagated with rank: %v", e)
+		}
+	}()
+	m := New(2, Zero())
+	m.Run(func(p *Proc) {
+		if p.Rank == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestChargeCopy(t *testing.T) {
+	m := New(1, CostModel{Tcopy: 2})
+	m.Run(func(p *Proc) {
+		p.ChargeCopy(10)
+	})
+	if math.Abs(m.MaxTime()-20) > 1e-12 {
+		t.Fatalf("MaxTime = %g, want 20", m.MaxTime())
+	}
+	if m.TotalFlops() != 0 {
+		t.Fatal("copies must not count as flops")
+	}
+}
+
+func TestPerProcFlops(t *testing.T) {
+	m := New(2, Zero())
+	m.Run(func(p *Proc) {
+		p.Charge(0, int64(10*(p.Rank+1)))
+		if p.Flops() != int64(10*(p.Rank+1)) {
+			panic("per-proc flop counter wrong")
+		}
+	})
+	if m.TotalFlops() != 30 {
+		t.Fatalf("TotalFlops = %d", m.TotalFlops())
+	}
+}
+
+func TestAbortReleasesBlockedReceivers(t *testing.T) {
+	m := New(4, Zero())
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Abort() // others are (or will be) blocked on receives
+			return
+		}
+		p.Recv((p.Rank+1)%4, 99) // never satisfied
+		panic("receive returned after abort")
+	})
+	if !m.Aborted() {
+		t.Fatal("machine not marked aborted")
+	}
+	m.Reset()
+	if m.Aborted() {
+		t.Fatal("Reset did not clear the abort")
+	}
+	// the machine is usable again after Reset
+	m.Run(func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 1, []float64{42})
+		} else if p.Rank == 1 {
+			if p.Recv(0, 1)[0] != 42 {
+				panic("payload wrong after reset")
+			}
+		}
+	})
+}
+
+func TestElapse(t *testing.T) {
+	m := New(1, Zero())
+	m.Run(func(p *Proc) {
+		p.Elapse(1.5)
+		if p.Clock() != 1.5 {
+			panic("Elapse did not advance the clock")
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package mapping implements the subtree-to-subcube assignment of
+// elimination-tree supernodes to processors (George, Liu & Ng; used by
+// both the paper's factorization and its triangular solvers): the root
+// supernode is shared by all p processors, the two child subtrees split
+// the processors in half, and so on, until whole subtrees are owned by a
+// single processor and processed sequentially. Trees with more than two
+// children at a node are handled by greedily bin-packing child subtrees
+// into two halves of roughly equal work.
+package mapping
+
+import (
+	"sptrsv/internal/machine"
+	"sptrsv/internal/symbolic"
+)
+
+// MinRowsPerProc caps the processor group of a supernode: a supernode
+// with n rows is shared by at most the smallest power of two ≥
+// n/MinRowsPerProc processors. Spreading fewer rows than that over a
+// subcube only adds pipeline latency without adding parallelism (the
+// paper's cost model b(q−1)+t presumes t and n large relative to q).
+const MinRowsPerProc = 4
+
+// Assignment is the result of subtree-to-subcube mapping. Each supernode
+// has two processor sets: FullGroups[s] is the whole subcube assigned by
+// the recursion (used by the 2-D multifrontal factorization, whose
+// frontal matrices are large enough to feed every subcube member), and
+// Groups[s] is the prefix of that subcube actually used by the 1-D
+// triangular solvers, capped so every member owns at least
+// MinRowsPerProc trapezoid rows.
+type Assignment struct {
+	P          int
+	Groups     []machine.Group // capped solver group per supernode
+	FullGroups []machine.Group // whole subcube per supernode
+	Level      []int           // log2(P/subcube size): 0 at the root level
+
+	// perProc[r] lists, ascending, every supernode whose capped group
+	// contains r; perProcFull is the analogue for the full subcubes.
+	perProc     [][]int
+	perProcFull [][]int
+}
+
+// SubtreeWork returns the factorization flop count of each supernode's
+// subtree — the load metric used to split processor groups.
+func SubtreeWork(sym *symbolic.Factor) []float64 {
+	work := make([]float64, sym.NSuper)
+	for s := 0; s < sym.NSuper; s++ {
+		for j := sym.Super[s]; j < sym.Super[s+1]; j++ {
+			l := float64(sym.ColCount[j] - 1)
+			work[s] += l*(l+1) + l + 1
+		}
+		for _, c := range sym.SChildren[s] {
+			work[s] += work[c] // children precede parents
+		}
+	}
+	return work
+}
+
+// SubtreeToSubcube maps the supernodal tree of sym onto p processors
+// (p a power of two).
+func SubtreeToSubcube(sym *symbolic.Factor, p int) *Assignment {
+	a := &Assignment{
+		P:          p,
+		Groups:     make([]machine.Group, sym.NSuper),
+		FullGroups: make([]machine.Group, sym.NSuper),
+		Level:      make([]int, sym.NSuper),
+	}
+	work := SubtreeWork(sym)
+	all := machine.Range(0, p)
+	for _, r := range sym.SRoots() {
+		a.assign(sym, work, r, all)
+	}
+	a.perProc = make([][]int, p)
+	a.perProcFull = make([][]int, p)
+	for s := 0; s < sym.NSuper; s++ {
+		for _, r := range a.Groups[s].Ranks {
+			a.perProc[r] = append(a.perProc[r], s)
+		}
+		for _, r := range a.FullGroups[s].Ranks {
+			a.perProcFull[r] = append(a.perProcFull[r], s)
+		}
+	}
+	return a
+}
+
+func (a *Assignment) assign(sym *symbolic.Factor, work []float64, s int, g machine.Group) {
+	// Cap the solver group so every member holds at least MinRowsPerProc
+	// rows; the recursion below keeps splitting the full subcube, so the
+	// subtree-to-subcube structure is unchanged.
+	qEff := g.Size()
+	for qEff > 1 && sym.Height(s) < MinRowsPerProc*qEff {
+		qEff /= 2
+	}
+	a.FullGroups[s] = g
+	a.Groups[s] = machine.Group{Ranks: g.Ranks[:qEff]}
+	a.Level[s] = log2(a.P) - log2(g.Size())
+	kids := sym.SChildren[s]
+	switch {
+	case len(kids) == 0:
+		return
+	case g.Size() == 1 || len(kids) == 1:
+		// No split possible (single processor) or no fork (chain): the
+		// children inherit the full group.
+		for _, c := range kids {
+			a.assign(sym, work, c, g)
+		}
+	default:
+		binA, binB := splitByWork(kids, work)
+		lo, hi := g.Halves()
+		for _, c := range binA {
+			a.assign(sym, work, c, lo)
+		}
+		for _, c := range binB {
+			a.assign(sym, work, c, hi)
+		}
+	}
+}
+
+// splitByWork partitions children into two bins of roughly equal total
+// subtree work (greedy longest-processing-time heuristic). Both bins are
+// guaranteed non-empty when len(kids) >= 2.
+func splitByWork(kids []int, work []float64) ([]int, []int) {
+	order := append([]int(nil), kids...)
+	// sort descending by work (insertion sort; child counts are small)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && work[order[j]] > work[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var binA, binB []int
+	wa, wb := 0.0, 0.0
+	for _, c := range order {
+		if wa <= wb {
+			binA = append(binA, c)
+			wa += work[c]
+		} else {
+			binB = append(binB, c)
+			wb += work[c]
+		}
+	}
+	if len(binB) == 0 { // degenerate (all zero work): force non-empty
+		binB = append(binB, binA[len(binA)-1])
+		binA = binA[:len(binA)-1]
+	}
+	return binA, binB
+}
+
+// Flat returns the naive alternative to subtree-to-subcube: every
+// supernode is shared by the whole machine (capped by the row rule), so
+// independent subtrees cannot proceed concurrently and every supernode
+// pays a machine-wide pipeline. It exists as an ablation baseline — the
+// benchmarks quantify how much the paper's mapping buys.
+func Flat(sym *symbolic.Factor, p int) *Assignment {
+	a := &Assignment{
+		P:          p,
+		Groups:     make([]machine.Group, sym.NSuper),
+		FullGroups: make([]machine.Group, sym.NSuper),
+		Level:      make([]int, sym.NSuper),
+	}
+	all := machine.Range(0, p)
+	for s := 0; s < sym.NSuper; s++ {
+		qEff := p
+		for qEff > 1 && sym.Height(s) < MinRowsPerProc*qEff {
+			qEff /= 2
+		}
+		a.FullGroups[s] = all
+		a.Groups[s] = machine.Group{Ranks: all.Ranks[:qEff]}
+	}
+	a.perProc = make([][]int, p)
+	a.perProcFull = make([][]int, p)
+	for s := 0; s < sym.NSuper; s++ {
+		for _, r := range a.Groups[s].Ranks {
+			a.perProc[r] = append(a.perProc[r], s)
+		}
+		for _, r := range a.FullGroups[s].Ranks {
+			a.perProcFull[r] = append(a.perProcFull[r], s)
+		}
+	}
+	return a
+}
+
+// ProcSupernodes returns, in ascending (postorder-compatible) order, every
+// supernode whose capped group contains processor r. Forward elimination
+// processes this list front to back, back substitution back to front.
+func (a *Assignment) ProcSupernodes(r int) []int { return a.perProc[r] }
+
+// ProcSupernodesFull is the analogue over the full subcubes, used by the
+// 2-D factorization and the redistribution.
+func (a *Assignment) ProcSupernodesFull(r int) []int { return a.perProcFull[r] }
+
+// Imbalance returns max over processors of (assigned work / ideal work),
+// where a supernode's own work is divided evenly among its group — the
+// paper's load-imbalance overhead.
+func (a *Assignment) Imbalance(sym *symbolic.Factor) float64 {
+	own := make([]float64, sym.NSuper)
+	var total float64
+	for s := 0; s < sym.NSuper; s++ {
+		for j := sym.Super[s]; j < sym.Super[s+1]; j++ {
+			l := float64(sym.ColCount[j] - 1)
+			own[s] += l*(l+1) + l + 1
+		}
+		total += own[s]
+	}
+	per := make([]float64, a.P)
+	for s := 0; s < sym.NSuper; s++ {
+		share := own[s] / float64(a.Groups[s].Size())
+		for _, r := range a.Groups[s].Ranks {
+			per[r] += share
+		}
+	}
+	ideal := total / float64(a.P)
+	worst := 0.0
+	for _, w := range per {
+		if w/ideal > worst {
+			worst = w / ideal
+		}
+	}
+	return worst
+}
+
+func log2(x int) int {
+	l := 0
+	for 1<<uint(l+1) <= x {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,229 @@
+package mapping
+
+import (
+	"testing"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func analyze(t *testing.T, a *sparse.SymCSC, g *mesh.Geometry) *symbolic.Factor {
+	t.Helper()
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, _ := symbolic.Analyze(a.PermuteSym(perm))
+	return sym
+}
+
+func TestRootGetsAllProcessors(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(15, 15), mesh.Grid2DGeometry(15, 15))
+	asn := SubtreeToSubcube(sym, 8)
+	for _, r := range sym.SRoots() {
+		if asn.FullGroups[r].Size() != 8 {
+			t.Fatalf("root subcube size %d, want 8", asn.FullGroups[r].Size())
+		}
+		// the capped solver group is a prefix of the subcube, sized so each
+		// member holds at least MinRowsPerProc rows
+		q := asn.Groups[r].Size()
+		if q > 8 || (q > 1 && sym.Height(r) < MinRowsPerProc*q) {
+			t.Fatalf("root capped group size %d violates the row cap (height %d)",
+				q, sym.Height(r))
+		}
+		for i, rank := range asn.Groups[r].Ranks {
+			if rank != asn.FullGroups[r].Ranks[i] {
+				t.Fatal("capped group is not a prefix of the subcube")
+			}
+		}
+	}
+}
+
+func TestGroupsNestWithinParent(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(17, 17), mesh.Grid2DGeometry(17, 17))
+	asn := SubtreeToSubcube(sym, 16)
+	for s := 0; s < sym.NSuper; s++ {
+		p := sym.SParent[s]
+		if p < 0 {
+			continue
+		}
+		pg := asn.FullGroups[p]
+		for _, r := range asn.FullGroups[s].Ranks {
+			if pg.Index(r) < 0 {
+				t.Fatalf("supernode %d rank %d not inside parent subcube", s, r)
+			}
+		}
+		if asn.FullGroups[s].Size() > pg.Size() {
+			t.Fatal("child subcube larger than parent subcube")
+		}
+		// capped groups are prefixes of their subcubes
+		for i, r := range asn.Groups[s].Ranks {
+			if r != asn.FullGroups[s].Ranks[i] {
+				t.Fatalf("supernode %d capped group not a subcube prefix", s)
+			}
+		}
+	}
+}
+
+func TestSiblingsSplitDisjointly(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(17, 17), mesh.Grid2DGeometry(17, 17))
+	asn := SubtreeToSubcube(sym, 8)
+	for s := 0; s < sym.NSuper; s++ {
+		kids := sym.SChildren[s]
+		if len(kids) < 2 || asn.FullGroups[s].Size() < 2 {
+			continue
+		}
+		// children's subcubes must each be a half (or nested within one)
+		lo, hi := asn.FullGroups[s].Halves()
+		inLo, inHi := false, false
+		for _, c := range kids {
+			for _, r := range asn.FullGroups[c].Ranks {
+				if lo.Index(r) >= 0 {
+					inLo = true
+				}
+				if hi.Index(r) >= 0 {
+					inHi = true
+				}
+			}
+			// single child subcube cannot straddle the halves
+			straddleLo, straddleHi := false, false
+			for _, r := range asn.FullGroups[c].Ranks {
+				if lo.Index(r) >= 0 {
+					straddleLo = true
+				} else {
+					straddleHi = true
+				}
+			}
+			if straddleLo && straddleHi {
+				t.Fatalf("child %d group straddles both halves", c)
+			}
+		}
+		if !inLo || !inHi {
+			t.Fatalf("supernode %d children do not use both halves", s)
+		}
+	}
+}
+
+func TestLevelsConsistent(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(15, 15), mesh.Grid2DGeometry(15, 15))
+	p := 8
+	asn := SubtreeToSubcube(sym, p)
+	for s := 0; s < sym.NSuper; s++ {
+		if got, want := asn.FullGroups[s].Size(), p>>uint(asn.Level[s]); got != want {
+			t.Fatalf("supernode %d: subcube size %d, level %d implies %d",
+				s, got, asn.Level[s], want)
+		}
+		if asn.Groups[s].Size() > asn.FullGroups[s].Size() {
+			t.Fatalf("supernode %d: capped group exceeds subcube", s)
+		}
+	}
+}
+
+func TestProcSupernodesAscendingAndComplete(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(13, 13), mesh.Grid2DGeometry(13, 13))
+	asn := SubtreeToSubcube(sym, 4)
+	seen := make([]int, sym.NSuper)
+	for r := 0; r < 4; r++ {
+		list := asn.ProcSupernodes(r)
+		for i := 1; i < len(list); i++ {
+			if list[i] <= list[i-1] {
+				t.Fatalf("proc %d supernode list not ascending", r)
+			}
+		}
+		for _, s := range list {
+			seen[s]++
+		}
+	}
+	for s := 0; s < sym.NSuper; s++ {
+		if seen[s] != asn.Groups[s].Size() {
+			t.Fatalf("supernode %d appears on %d procs, group size %d",
+				s, seen[s], asn.Groups[s].Size())
+		}
+	}
+}
+
+func TestSingleProcessorMapping(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(9, 9), mesh.Grid2DGeometry(9, 9))
+	asn := SubtreeToSubcube(sym, 1)
+	for s := 0; s < sym.NSuper; s++ {
+		if asn.Groups[s].Size() != 1 {
+			t.Fatal("p=1 mapping must assign everything to proc 0")
+		}
+	}
+	if len(asn.ProcSupernodes(0)) != sym.NSuper {
+		t.Fatal("proc 0 must own all supernodes")
+	}
+}
+
+func TestImbalanceReasonable(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(31, 31), mesh.Grid2DGeometry(31, 31))
+	for _, p := range []int{1, 2, 4, 8} {
+		asn := SubtreeToSubcube(sym, p)
+		imb := asn.Imbalance(sym)
+		if imb < 1.0-1e-9 {
+			t.Fatalf("p=%d: imbalance %g < 1", p, imb)
+		}
+		if imb > 2.5 {
+			t.Fatalf("p=%d: imbalance %g too high for a balanced ND tree", p, imb)
+		}
+	}
+}
+
+func TestSubtreeWorkMonotone(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(11, 11), mesh.Grid2DGeometry(11, 11))
+	work := SubtreeWork(sym)
+	for s := 0; s < sym.NSuper; s++ {
+		if p := sym.SParent[s]; p >= 0 && work[p] <= work[s] {
+			t.Fatalf("parent %d work %g <= child %d work %g", p, work[p], s, work[s])
+		}
+	}
+}
+
+func TestSplitByWorkBalanced(t *testing.T) {
+	work := make([]float64, 6)
+	kids := []int{0, 1, 2, 3, 4, 5}
+	for i := range kids {
+		work[i] = float64(int(1) << i)
+	}
+	a, b := splitByWork(kids, work)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty bin")
+	}
+	wa, wb := 0.0, 0.0
+	for _, c := range a {
+		wa += work[c]
+	}
+	for _, c := range b {
+		wb += work[c]
+	}
+	// total 63; LPT with powers of two gives 32 vs 31
+	if wa+wb != 63 || wa < 31 || wa > 32 {
+		t.Fatalf("split %g/%g", wa, wb)
+	}
+}
+
+func TestSplitByWorkZeroWork(t *testing.T) {
+	a, b := splitByWork([]int{0, 1}, []float64{0, 0})
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("zero-work split: %v %v", a, b)
+	}
+}
+
+func TestFlatMapping(t *testing.T) {
+	sym := analyze(t, mesh.Grid2D(13, 13), mesh.Grid2DGeometry(13, 13))
+	asn := Flat(sym, 8)
+	for s := 0; s < sym.NSuper; s++ {
+		if asn.FullGroups[s].Size() != 8 {
+			t.Fatalf("flat mapping supernode %d subcube size %d", s, asn.FullGroups[s].Size())
+		}
+		if asn.Groups[s].Size() > 8 {
+			t.Fatal("capped group larger than machine")
+		}
+	}
+	// every processor sees every supernode in the full view
+	for r := 0; r < 8; r++ {
+		if len(asn.ProcSupernodesFull(r)) != sym.NSuper {
+			t.Fatalf("proc %d full list has %d of %d supernodes",
+				r, len(asn.ProcSupernodesFull(r)), sym.NSuper)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid2DStructure(t *testing.T) {
+	a := Grid2D(5, 4)
+	if a.N != 20 {
+		t.Fatalf("N = %d, want 20", a.N)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// edges: 4*4 horizontal per row * 4 rows? horizontal: (5-1)*4=16, vertical: 5*3=15
+	wantNNZ := 20 + 16 + 15
+	if a.NNZ() != wantNNZ {
+		t.Fatalf("nnz = %d, want %d", a.NNZ(), wantNNZ)
+	}
+	adj := a.Adjacency()
+	// corner has 2 neighbors, interior has 4
+	if len(adj[0]) != 2 {
+		t.Fatalf("corner degree = %d", len(adj[0]))
+	}
+	if len(adj[6]) != 4 {
+		t.Fatalf("interior degree = %d", len(adj[6]))
+	}
+}
+
+func TestGrid3DStructure(t *testing.T) {
+	a := Grid3D(3, 3, 3)
+	if a.N != 27 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adj := a.Adjacency()
+	if len(adj[13]) != 6 { // center of 3x3x3
+		t.Fatalf("center degree = %d, want 6", len(adj[13]))
+	}
+	if len(adj[0]) != 3 {
+		t.Fatalf("corner degree = %d, want 3", len(adj[0]))
+	}
+}
+
+func TestGrid2D9Degrees(t *testing.T) {
+	a := Grid2D9(4, 4)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adj := a.Adjacency()
+	if len(adj[5]) != 8 {
+		t.Fatalf("interior 9-point degree = %d, want 8", len(adj[5]))
+	}
+	if len(adj[0]) != 3 {
+		t.Fatalf("corner 9-point degree = %d, want 3", len(adj[0]))
+	}
+}
+
+// checkDD verifies weak diagonal dominance of every row — a sufficient
+// SPD condition for our generators (each has strict dominance somewhere).
+func checkDD(t *testing.T, a interface {
+	Diag() []float64
+	Adjacency() [][]int
+	ToDense() []float64
+}, n int) {
+	t.Helper()
+	d := a.ToDense()
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := d[i*n+j]
+				if v < 0 {
+					v = -v
+				}
+				off += v
+			}
+		}
+		if d[i*n+i] < off {
+			t.Fatalf("row %d not diagonally dominant: diag %g < off %g", i, d[i*n+i], off)
+		}
+	}
+}
+
+func TestGeneratorsDiagonallyDominant(t *testing.T) {
+	cases := map[string]interface {
+		Diag() []float64
+		Adjacency() [][]int
+		ToDense() []float64
+	}{
+		"grid2d":  Grid2D(6, 5),
+		"grid2d9": Grid2D9(5, 5),
+		"grid3d":  Grid3D(3, 4, 3),
+		"shell":   Shell(4, 4, 3),
+		"aniso":   Anisotropic2D(6, 6, 1.0, 0.05),
+	}
+	ns := map[string]int{"grid2d": 30, "grid2d9": 25, "grid3d": 36, "shell": 48, "aniso": 36}
+	for name, a := range cases {
+		checkDD(t, a, ns[name])
+		_ = name
+	}
+}
+
+func TestShellCoupling(t *testing.T) {
+	a := Shell(3, 3, 2)
+	if a.N != 18 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adj := a.Adjacency()
+	// center node's dofs couple to own other dof (1) + 4 neighbors * 2 dofs = 9
+	center := (1*3 + 1) * 2
+	if len(adj[center]) != 9 {
+		t.Fatalf("center dof degree = %d, want 9", len(adj[center]))
+	}
+}
+
+func TestShellDeterministic(t *testing.T) {
+	a := Shell(5, 4, 3)
+	b := Shell(5, 4, 3)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("shell generator not deterministic in structure")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatal("shell generator not deterministic in values")
+		}
+	}
+}
+
+func TestGeometries(t *testing.T) {
+	g := Grid2DGeometry(4, 3)
+	if g.Dim != 2 || len(g.Coords) != 24 {
+		t.Fatalf("bad 2d geometry: dim=%d len=%d", g.Dim, len(g.Coords))
+	}
+	// vertex 7 = (3,1)
+	if g.Coords[14] != 3 || g.Coords[15] != 1 {
+		t.Fatalf("vertex 7 coords = (%d,%d)", g.Coords[14], g.Coords[15])
+	}
+	g3 := Grid3DGeometry(2, 2, 2)
+	if g3.Dim != 3 || len(g3.Coords) != 24 {
+		t.Fatal("bad 3d geometry")
+	}
+	// vertex 7 = (1,1,1)
+	if g3.Coords[21] != 1 || g3.Coords[22] != 1 || g3.Coords[23] != 1 {
+		t.Fatal("3d vertex coords wrong")
+	}
+	gs := ShellGeometry(2, 2, 3)
+	if len(gs.Coords) != 24 || gs.Dof != 3 {
+		t.Fatal("bad shell geometry")
+	}
+	// dofs 3,4,5 belong to node (1,0)
+	if gs.Coords[2*4] != 1 || gs.Coords[2*4+1] != 0 {
+		t.Fatal("shell dof coords wrong")
+	}
+}
+
+func TestSuiteAndByName(t *testing.T) {
+	s := Suite()
+	if len(s) != 5 {
+		t.Fatalf("suite size = %d, want 5", len(s))
+	}
+	for _, p := range s {
+		if err := p.A.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.Geom == nil || len(p.Geom.Coords) != p.Geom.Dim*p.A.N {
+			t.Fatalf("%s: geometry size mismatch", p.Name)
+		}
+	}
+	if _, err := ByName("CUBE-20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown problem")
+	}
+}
+
+func TestRandomRHSReproducible(t *testing.T) {
+	a := RandomRHS(10, 3, 42)
+	b := RandomRHS(10, 3, 42)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("RandomRHS not reproducible")
+	}
+	c := RandomRHS(10, 3, 43)
+	if a.MaxAbsDiff(c) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestQuickGridSizes(t *testing.T) {
+	f := func(nx8, ny8 uint8) bool {
+		nx := int(nx8%7) + 1
+		ny := int(ny8%7) + 1
+		a := Grid2D(nx, ny)
+		if a.N != nx*ny {
+			return false
+		}
+		return a.Validate() == nil &&
+			a.NNZ() == nx*ny+(nx-1)*ny+nx*(ny-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSPD(t *testing.T) {
+	a := RandomSPD(60, 5, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkDD(t, a, 60)
+	// connected: BFS reaches everything
+	adj := a.Adjacency()
+	seen := make([]bool, 60)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	if count != 60 {
+		t.Fatalf("random SPD graph disconnected: reached %d of 60", count)
+	}
+	// reproducible
+	b := RandomSPD(60, 5, 1)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("RandomSPD not reproducible")
+	}
+}

@@ -1,0 +1,188 @@
+package parfact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func analyze(t testing.TB, a *sparse.SymCSC, g *mesh.Geometry) (*symbolic.Factor, *sparse.SymCSC) {
+	t.Helper()
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	return sym, ap
+}
+
+func compareFactors(t *testing.T, got, want *chol.Factor, tol float64) {
+	t.Helper()
+	for s := range want.Panels {
+		for i := range want.Panels[s] {
+			if math.Abs(got.Panels[s][i]-want.Panels[s][i]) > tol {
+				t.Fatalf("supernode %d entry %d: parallel %g vs sequential %g",
+					s, i, got.Panels[s][i], want.Panels[s][i])
+			}
+		}
+	}
+}
+
+func TestParallelFactorMatchesSequentialP1(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid2D(7, 7), mesh.Grid2DGeometry(7, 7))
+	want, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := mapping.SubtreeToSubcube(sym, 1)
+	mach := machine.New(1, machine.T3D())
+	f2d, st, err := Factorize(mach, ap, sym, asn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Time <= 0 || st.Flops <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+	compareFactors(t, f2d.Gathered(), want, 1e-10)
+}
+
+func TestParallelFactorMatchesSequentialAcrossP(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid2D(11, 10), mesh.Grid2DGeometry(11, 10))
+	want, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8, 16} {
+		asn := mapping.SubtreeToSubcube(sym, p)
+		mach := machine.New(p, machine.T3D())
+		f2d, _, err := Factorize(mach, ap, sym, asn, 2)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		compareFactors(t, f2d.Gathered(), want, 1e-9)
+	}
+}
+
+func TestParallelFactor3D(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid3D(4, 4, 4), mesh.Grid3DGeometry(4, 4, 4))
+	want, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := mapping.SubtreeToSubcube(sym, 8)
+	mach := machine.New(8, machine.T3D())
+	f2d, _, err := Factorize(mach, ap, sym, asn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareFactors(t, f2d.Gathered(), want, 1e-9)
+}
+
+func TestParallelFactorBlockSizes(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid2D(9, 9), mesh.Grid2DGeometry(9, 9))
+	want, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 2, 5, 8, 32} {
+		asn := mapping.SubtreeToSubcube(sym, 4)
+		mach := machine.New(4, machine.T3D())
+		f2d, _, err := Factorize(mach, ap, sym, asn, b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		compareFactors(t, f2d.Gathered(), want, 1e-9)
+	}
+}
+
+func TestParallelFactorSpeedsUp(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid2D(31, 31), mesh.Grid2DGeometry(31, 31))
+	time := func(p int) float64 {
+		asn := mapping.SubtreeToSubcube(sym, p)
+		mach := machine.New(p, machine.T3D())
+		_, st, err := Factorize(mach, ap, sym, asn, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	t1, t16 := time(1), time(16)
+	if t16 >= t1 {
+		t.Fatalf("p=16 (%.4g s) not faster than p=1 (%.4g s)", t16, t1)
+	}
+	if t1/t16 < 3 {
+		t.Fatalf("p=16 speedup only %.2f; factorization should scale well", t1/t16)
+	}
+}
+
+func TestFactorizeRejectsIndefinite(t *testing.T) {
+	tr := sparse.NewTriplet(4)
+	for i := 0; i < 4; i++ {
+		tr.Add(i, i, 1)
+	}
+	tr.Add(1, 0, 3)
+	a := tr.Compile()
+	sym, _, ap := symbolic.Analyze(a)
+	asn := mapping.SubtreeToSubcube(sym, 2)
+	mach := machine.New(2, machine.Zero())
+	if _, _, err := Factorize(mach, ap, sym, asn, 2); err == nil {
+		t.Fatal("accepted indefinite matrix")
+	}
+}
+
+func TestFactorizeRejectsBadArgs(t *testing.T) {
+	sym, ap := analyze(t, mesh.Grid2D(4, 4), mesh.Grid2DGeometry(4, 4))
+	asn := mapping.SubtreeToSubcube(sym, 2)
+	mach := machine.New(4, machine.Zero())
+	if _, _, err := Factorize(mach, ap, sym, asn, 2); err == nil {
+		t.Fatal("accepted mismatched machine size")
+	}
+	mach2 := machine.New(2, machine.Zero())
+	if _, _, err := Factorize(mach2, ap, sym, asn, 0); err == nil {
+		t.Fatal("accepted zero block size")
+	}
+}
+
+func TestGridsShapes(t *testing.T) {
+	pr, pc := Grids(8)
+	if pr*pc != 8 || pr < pc {
+		t.Fatalf("Grids(8) = %d×%d", pr, pc)
+	}
+}
+
+func TestQuickParallelFactor(t *testing.T) {
+	f := func(p8, b8 uint8) bool {
+		p := 1 << (p8 % 4)
+		b := int(b8%5) + 1
+		a := mesh.Grid2D(8, 7)
+		perm := order.NestedDissectionGeom(a, mesh.Grid2DGeometry(8, 7))
+		sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+		want, err := chol.Factorize(ap, sym)
+		if err != nil {
+			return false
+		}
+		asn := mapping.SubtreeToSubcube(sym, p)
+		mach := machine.New(p, machine.T3D())
+		f2d, _, err := Factorize(mach, ap, sym, asn, b)
+		if err != nil {
+			return false
+		}
+		got := f2d.Gathered()
+		for s := range want.Panels {
+			for i := range want.Panels[s] {
+				if math.Abs(got.Panels[s][i]-want.Panels[s][i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

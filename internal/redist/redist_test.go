@@ -1,0 +1,189 @@
+package redist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/core"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/parfact"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+// pipeline factors a problem in parallel (2-D layout) and returns all the
+// pieces needed for conversion checks.
+func pipeline(t testing.TB, a *sparse.SymCSC, g *mesh.Geometry, p, b int) (
+	*sparse.SymCSC, *symbolic.Factor, *chol.Factor, *parfact.Factor2D, *machine.Machine) {
+	t.Helper()
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	seq, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := mapping.SubtreeToSubcube(sym, p)
+	mach := machine.New(p, machine.T3D())
+	f2d, _, err := parfact.Factorize(mach, ap, sym, asn, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap, sym, seq, f2d, mach
+}
+
+func TestConvertMatchesDirectDistribution(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		_, sym, seq, f2d, mach := pipeline(t, mesh.Grid2D(11, 11), mesh.Grid2DGeometry(11, 11), p, 3)
+		df, st := Convert(mach, f2d)
+		if err := df.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := core.DistributeRows(seq, f2d.Asn, f2d.B)
+		for r := 0; r < p; r++ {
+			for s := 0; s < sym.NSuper; s++ {
+				for i := range want.Local[r][s] {
+					d := df.Local[r][s][i] - want.Local[r][s][i]
+					if d > 1e-10 || d < -1e-10 {
+						t.Fatalf("p=%d rank %d supernode %d entry %d differs", p, r, s, i)
+					}
+				}
+			}
+		}
+		// For p=2 the grid is 2×1, so the 2-D and 1-D layouts coincide
+		// and nothing moves; movement is required once pc > 1.
+		if p >= 4 && st.Words == 0 {
+			t.Fatalf("p=%d: no words moved?", p)
+		}
+		if st.Time <= 0 {
+			t.Fatalf("p=%d: nonpositive redistribution time", p)
+		}
+	}
+}
+
+func TestConvertP1MovesNothing(t *testing.T) {
+	_, _, _, f2d, mach := pipeline(t, mesh.Grid2D(7, 7), mesh.Grid2DGeometry(7, 7), 1, 4)
+	_, st := Convert(mach, f2d)
+	if st.Words != 0 {
+		t.Fatalf("p=1 moved %d words", st.Words)
+	}
+}
+
+func TestEndToEndSolveAfterRedistribution(t *testing.T) {
+	// The paper's full pipeline: parallel factorization (2-D) →
+	// redistribution (1-D) → parallel forward/backward solve.
+	ap, _, seq, f2d, mach := pipeline(t, mesh.Grid3D(5, 5, 4), mesh.Grid3DGeometry(5, 5, 4), 8, 4)
+	df, _ := Convert(mach, f2d)
+	b := mesh.RandomRHS(ap.N, 3, 1)
+	want := b.Clone()
+	seq.Solve(want)
+	sv := core.NewSolver(df, core.Options{B: f2d.B})
+	got, st := sv.Solve(mach, b)
+	if d := got.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("end-to-end solution differs by %g", d)
+	}
+	if st.Time <= 0 {
+		t.Fatal("bad solve stats")
+	}
+}
+
+func TestRedistributionRatioReasonable(t *testing.T) {
+	// Paper §5: redistribution costs at most ~0.9× (avg ~0.5×) of a
+	// single-RHS FBsolve. Check the same order of magnitude here.
+	ap, _, _, f2d, mach := pipeline(t, mesh.Grid2D(31, 31), mesh.Grid2DGeometry(31, 31), 16, 8)
+	df, rst := Convert(mach, f2d)
+	sv := core.NewSolver(df, core.Options{B: f2d.B})
+	b := mesh.RandomRHS(ap.N, 1, 2)
+	_, sst := sv.Solve(mach, b)
+	ratio := rst.Time / sst.Time
+	if ratio <= 0 || ratio > 3 {
+		t.Fatalf("redistribution/solve ratio %.2f outside plausible range", ratio)
+	}
+}
+
+func TestQuickConvert(t *testing.T) {
+	f := func(p8, b8 uint8) bool {
+		p := 1 << (p8 % 4)
+		bsz := int(b8%5) + 1
+		a := mesh.Grid2D(8, 8)
+		g := mesh.Grid2DGeometry(8, 8)
+		perm := order.NestedDissectionGeom(a, g)
+		sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+		seq, err := chol.Factorize(ap, sym)
+		if err != nil {
+			return false
+		}
+		asn := mapping.SubtreeToSubcube(sym, p)
+		mach := machine.New(p, machine.T3D())
+		f2d, _, err := parfact.Factorize(mach, ap, sym, asn, bsz)
+		if err != nil {
+			return false
+		}
+		df, _ := Convert(mach, f2d)
+		want := core.DistributeRows(seq, asn, bsz)
+		for r := 0; r < p; r++ {
+			for s := 0; s < sym.NSuper; s++ {
+				for i := range want.Local[r][s] {
+					d := df.Local[r][s][i] - want.Local[r][s][i]
+					if d > 1e-10 || d < -1e-10 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertToDifferentSolverBlock(t *testing.T) {
+	// factorization panels of width 16, solver blocks of 4: the
+	// conversion must bridge the two layouts exactly
+	_, sym, seq, f2d, mach := pipeline(t, mesh.Grid2D(10, 10), mesh.Grid2DGeometry(10, 10), 8, 16)
+	df, _ := ConvertTo(mach, f2d, 4)
+	want := core.DistributeRows(seq, f2d.Asn, 4)
+	for r := 0; r < 8; r++ {
+		for s := 0; s < sym.NSuper; s++ {
+			for i := range want.Local[r][s] {
+				d := df.Local[r][s][i] - want.Local[r][s][i]
+				if d > 1e-10 || d < -1e-10 {
+					t.Fatalf("rank %d supernode %d entry %d differs", r, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestConvertWithFlatMapping(t *testing.T) {
+	a := mesh.Grid2D(9, 9)
+	g := mesh.Grid2DGeometry(9, 9)
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	seq, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := mapping.Flat(sym, 4)
+	mach := machine.New(4, machine.T3D())
+	f2d, _, err := parfact.Factorize(mach, ap, sym, asn, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, _ := ConvertTo(mach, f2d, 4)
+	want := core.DistributeRows(seq, asn, 4)
+	for r := 0; r < 4; r++ {
+		for s := 0; s < sym.NSuper; s++ {
+			for i := range want.Local[r][s] {
+				d := df.Local[r][s][i] - want.Local[r][s][i]
+				if d > 1e-10 || d < -1e-10 {
+					t.Fatalf("flat mapping: rank %d supernode %d entry %d differs", r, s, i)
+				}
+			}
+		}
+	}
+}

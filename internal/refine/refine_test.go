@@ -1,0 +1,125 @@
+package refine
+
+import (
+	"testing"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/core"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+// sequentialSolver adapts the sequential supernodal solver.
+func sequentialSolver(f *chol.Factor) Solver {
+	return func(b *sparse.Block) *sparse.Block {
+		f.Solve(b)
+		return b
+	}
+}
+
+func setupSeq(t *testing.T, a *sparse.SymCSC, g *mesh.Geometry) (*sparse.SymCSC, Solver) {
+	t.Helper()
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap, sequentialSolver(f)
+}
+
+func TestRefineConvergesImmediately(t *testing.T) {
+	ap, solve := setupSeq(t, mesh.Grid2D(10, 10), mesh.Grid2DGeometry(10, 10))
+	b := mesh.RandomRHS(ap.N, 2, 1)
+	res := Solve(ap, solve, b, 5, 1e-12)
+	if !res.Converged {
+		t.Fatalf("well-conditioned system should converge: residuals %v", res.Residuals)
+	}
+	if res.Residuals[len(res.Residuals)-1] > 1e-12 {
+		t.Fatalf("final residual %g", res.Residuals[len(res.Residuals)-1])
+	}
+}
+
+func TestRefineImprovesPerturbedFactor(t *testing.T) {
+	// Perturb the factor to emulate a low-precision factorization; the
+	// refinement loop must recover accuracy through repeated solves.
+	a := mesh.Anisotropic2D(20, 20, 1, 1e-4)
+	g := mesh.Grid2DGeometry(20, 20)
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range f.Panels {
+		for i := range f.Panels[s] {
+			f.Panels[s][i] *= 1 + 1e-6 // ~6 digits of factor noise
+		}
+	}
+	b := mesh.RandomRHS(ap.N, 1, 3)
+	res := Solve(ap, sequentialSolver(f), b, 10, 1e-11)
+	first := res.Residuals[0]
+	last := res.Residuals[len(res.Residuals)-1]
+	if !(last < first/10) {
+		t.Fatalf("refinement did not improve: %v", res.Residuals)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res.Residuals)
+	}
+}
+
+func TestRefineStopsOnStagnation(t *testing.T) {
+	// A grossly wrong "solver" cannot reduce the residual: the loop must
+	// stop early rather than run all iterations.
+	a := mesh.Grid2D(6, 6)
+	bogus := func(b *sparse.Block) *sparse.Block { return b } // identity
+	b := mesh.RandomRHS(a.N, 1, 4)
+	res := Solve(a, bogus, b, 50, 1e-12)
+	if res.Converged {
+		t.Fatal("identity solver cannot converge")
+	}
+	if res.Iters >= 50 {
+		t.Fatalf("stagnation not detected (ran %d iters)", res.Iters)
+	}
+}
+
+func TestRefineWithParallelSolver(t *testing.T) {
+	// the parallel machine solver as the refinement engine
+	a := mesh.Grid2D(12, 12)
+	g := mesh.Grid2DGeometry(12, 12)
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := mapping.SubtreeToSubcube(sym, 8)
+	df := core.DistributeRows(f, asn, 4)
+	sv := core.NewSolver(df, core.Options{B: 4})
+	mach := machine.New(8, machine.T3D())
+	parallel := func(b *sparse.Block) *sparse.Block {
+		x, _ := sv.Solve(mach, b)
+		return x
+	}
+	b := mesh.RandomRHS(ap.N, 3, 5)
+	res := Solve(ap, parallel, b, 5, 1e-12)
+	if !res.Converged {
+		t.Fatalf("parallel-refined solve did not converge: %v", res.Residuals)
+	}
+}
+
+func TestRefineZeroRHS(t *testing.T) {
+	ap, solve := setupSeq(t, mesh.Grid2D(5, 5), mesh.Grid2DGeometry(5, 5))
+	b := sparse.NewBlock(ap.N, 1) // zero RHS
+	res := Solve(ap, solve, b, 3, 1e-12)
+	if !res.Converged {
+		t.Fatal("zero RHS must converge immediately")
+	}
+	if res.X.NormInf() > 1e-12 {
+		t.Fatal("zero RHS must give zero solution")
+	}
+}

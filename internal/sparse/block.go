@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block is a dense N×M block of M right-hand-side (or solution) vectors,
+// stored row-major so that the M values belonging to one matrix row are
+// contiguous. This is the layout the paper's multi-RHS solvers stream over:
+// every touch of one factor entry updates M contiguous values (the BLAS-3
+// effect of NRHS > 1).
+type Block struct {
+	N, M int
+	Data []float64
+}
+
+// NewBlock allocates a zeroed n×m block.
+func NewBlock(n, m int) *Block {
+	return &Block{N: n, M: m, Data: make([]float64, n*m)}
+}
+
+// BlockFromVec wraps a single vector as an n×1 block (shares storage).
+func BlockFromVec(x []float64) *Block {
+	return &Block{N: len(x), M: 1, Data: x}
+}
+
+// Row returns the i-th row slice (length M), sharing storage.
+func (b *Block) Row(i int) []float64 {
+	return b.Data[i*b.M : (i+1)*b.M]
+}
+
+// Col extracts column c into a new slice.
+func (b *Block) Col(c int) []float64 {
+	out := make([]float64, b.N)
+	for i := 0; i < b.N; i++ {
+		out[i] = b.Data[i*b.M+c]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *Block) Clone() *Block {
+	return &Block{N: b.N, M: b.M, Data: append([]float64(nil), b.Data...)}
+}
+
+// Fill sets every entry to v.
+func (b *Block) Fill(v float64) {
+	for i := range b.Data {
+		b.Data[i] = v
+	}
+}
+
+// AddScaled performs b += alpha*other.
+func (b *Block) AddScaled(alpha float64, other *Block) {
+	if b.N != other.N || b.M != other.M {
+		panic(fmt.Sprintf("sparse: AddScaled shape mismatch (%d,%d) vs (%d,%d)", b.N, b.M, other.N, other.M))
+	}
+	for i := range b.Data {
+		b.Data[i] += alpha * other.Data[i]
+	}
+}
+
+// MaxAbsDiff returns max_ij |b_ij - other_ij|.
+func (b *Block) MaxAbsDiff(other *Block) float64 {
+	if b.N != other.N || b.M != other.M {
+		panic("sparse: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i := range b.Data {
+		d := math.Abs(b.Data[i] - other.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NormInf returns max_ij |b_ij|.
+func (b *Block) NormInf() float64 {
+	max := 0.0
+	for _, v := range b.Data {
+		a := math.Abs(v)
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// PermuteRows returns a new block whose row k equals row perm[k] of b
+// (i.e. the result is P·b for the same convention as SymCSC.PermuteSym).
+func (b *Block) PermuteRows(perm []int) *Block {
+	if len(perm) != b.N {
+		panic("sparse: PermuteRows length mismatch")
+	}
+	out := NewBlock(b.N, b.M)
+	for k := 0; k < b.N; k++ {
+		copy(out.Row(k), b.Row(perm[k]))
+	}
+	return out
+}

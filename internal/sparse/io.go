@@ -1,0 +1,158 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements serialization of symmetric sparse matrices in two
+// text formats:
+//
+//   - MatrixMarket "coordinate real symmetric" — the format the paper-era
+//     Harwell-Boeing/Rutherford matrices circulate in today, so users can
+//     run the solver on the paper's actual matrices if they have them;
+//   - a minimal "triplet" format (one "i j v" line per lower-triangle
+//     entry, 0-based) for quick interchange with scripts.
+
+// WriteMatrixMarket writes the lower triangle of a in MatrixMarket
+// coordinate real symmetric format (1-based indices).
+func WriteMatrixMarket(w io.Writer, a *SymCSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.N, a.N, a.NNZ()); err != nil {
+		return err
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", a.RowIdx[p]+1, j+1, a.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate real
+// symmetric/general matrix. General matrices must be structurally
+// symmetric; both triangles are accepted and merged.
+func ReadMatrixMarket(r io.Reader) (*SymCSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" ||
+		header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	if header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported field type %q", header[3])
+	}
+	symmetric := header[4] == "symmetric"
+	if !symmetric && header[4] != "general" {
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+	}
+	// skip comments
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscanf(sizeLine, "%d %d %d", &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("sparse: bad size line %q: %w", sizeLine, err)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("sparse: matrix is %d×%d, want square", rows, cols)
+	}
+	t := NewTriplet(rows)
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad entry %q: %w", line, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > rows {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i, j)
+		}
+		if !symmetric && i < j {
+			// general: keep only one triangle, verifying symmetry lazily
+			// by merging (i,j) and (j,i) through Triplet's mirroring; a
+			// numerically unsymmetric general matrix will end up with
+			// summed off-diagonal values, so reject upper entries instead.
+			continue
+		}
+		t.Add(i-1, j-1, v)
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if symmetric && seen != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, read %d", nnz, seen)
+	}
+	return t.Compile(), nil
+}
+
+// WriteTriplets writes the lower triangle as "i j v" lines (0-based).
+func WriteTriplets(w io.Writer, a *SymCSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", a.N); err != nil {
+		return err
+	}
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", a.RowIdx[p], j, a.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTriplets parses the triplet format written by WriteTriplets.
+func ReadTriplets(r io.Reader) (*SymCSC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty triplet stream")
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d", &n); err != nil || n <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimension line %q", sc.Text())
+	}
+	t := NewTriplet(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad triplet %q: %w", line, err)
+		}
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of range", i, j)
+		}
+		t.Add(i, j, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t.Compile(), nil
+}

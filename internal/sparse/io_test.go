@@ -1,0 +1,145 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleMatrix() *SymCSC {
+	t := NewTriplet(4)
+	t.Add(0, 0, 4)
+	t.Add(1, 1, 5)
+	t.Add(2, 2, 6)
+	t.Add(3, 3, 7)
+	t.Add(1, 0, -1.25)
+	t.Add(3, 1, -0.5)
+	t.Add(3, 2, 1e-17)
+	return t.Compile()
+}
+
+func sameMatrix(t *testing.T, a, b *SymCSC) {
+	t.Helper()
+	if a.N != b.N || a.NNZ() != b.NNZ() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", a.N, a.NNZ(), b.N, b.NNZ())
+	}
+	for i := range a.RowIdx {
+		if a.RowIdx[i] != b.RowIdx[i] || a.Val[i] != b.Val[i] {
+			t.Fatalf("entry %d differs: (%d,%g) vs (%d,%g)",
+				i, a.RowIdx[i], a.Val[i], b.RowIdx[i], b.Val[i])
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := sampleMatrix()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket matrix coordinate real symmetric") {
+		t.Fatalf("bad header: %q", buf.String()[:50])
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, a, b)
+}
+
+func TestTripletsRoundTrip(t *testing.T) {
+	a := sampleMatrix()
+	var buf bytes.Buffer
+	if err := WriteTriplets(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadTriplets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, a, b)
+}
+
+func TestReadMatrixMarketWithComments(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+% another
+
+3 3 4
+1 1 2.0
+2 2 2.0
+3 3 2.0
+2 1 -1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 3 || a.NNZ() != 4 {
+		t.Fatalf("parsed %d/%d", a.N, a.NNZ())
+	}
+	d := a.ToDense()
+	if d[1*3+0] != -1 || d[0*3+1] != -1 {
+		t.Fatal("off-diagonal entry lost")
+	}
+}
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	// general storage with both triangles present: upper entries skipped
+	src := `%%MatrixMarket matrix coordinate real general
+2 2 4
+1 1 3.0
+2 2 3.0
+2 1 -1.0
+1 2 -1.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (lower only)", a.NNZ())
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not mm":      "garbage\n1 1 1\n",
+		"complex":     "%%MatrixMarket matrix coordinate complex symmetric\n1 1 1\n1 1 1.0\n",
+		"array":       "%%MatrixMarket matrix array real symmetric\n2 2\n",
+		"rect":        "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1.0\n",
+		"outofrange":  "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 1 1.0\n",
+		"shortcount":  "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 1.0\n",
+		"malformed":   "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 x 1.0\n",
+		"badsizeline": "%%MatrixMarket matrix coordinate real symmetric\nnope\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadTripletsErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":      "",
+		"baddim":     "x\n",
+		"outofrange": "2\n3 0 1.0\n",
+		"malformed":  "2\n0 zero 1.0\n",
+	} {
+		if _, err := ReadTriplets(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestTripletsSkipsComments(t *testing.T) {
+	a, err := ReadTriplets(strings.NewReader("2\n# c\n0 0 1\n1 1 1\n\n1 0 -0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d", a.NNZ())
+	}
+}

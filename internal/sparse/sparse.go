@@ -1,0 +1,348 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// repository: triplet (coordinate) assembly, compressed sparse column
+// storage of symmetric positive definite matrices (lower triangle), graph
+// views, permutations, and dense conversion for small reference checks.
+//
+// All matrices in this project are N×N, symmetric, and stored as the lower
+// triangle (diagonal included) in compressed sparse column (CSC) form with
+// row indices sorted within each column — the same convention as the
+// Harwell-Boeing matrices used in the paper.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet accumulates coordinate-form entries of a symmetric matrix. Only
+// the lower triangle (i >= j) is kept; entries supplied in the upper
+// triangle are mirrored. Duplicate entries are summed during compilation.
+type Triplet struct {
+	N int
+	I []int
+	J []int
+	V []float64
+}
+
+// NewTriplet returns an empty triplet accumulator for an n×n matrix.
+func NewTriplet(n int) *Triplet {
+	return &Triplet{N: n}
+}
+
+// Add records a(i,j) += v (and implicitly a(j,i) by symmetry). Entries with
+// i < j are stored as (j, i).
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.N || j < 0 || j >= t.N {
+		panic(fmt.Sprintf("sparse: triplet index (%d,%d) out of range for n=%d", i, j, t.N))
+	}
+	if i < j {
+		i, j = j, i
+	}
+	t.I = append(t.I, i)
+	t.J = append(t.J, j)
+	t.V = append(t.V, v)
+}
+
+// Compile converts the accumulated triplets into CSC lower-triangular form.
+func (t *Triplet) Compile() *SymCSC {
+	n := t.N
+	colCount := make([]int, n+1)
+	for _, j := range t.J {
+		colCount[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	colPtr := colCount
+	nnz := len(t.I)
+	rowIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, colPtr[:n])
+	for k := 0; k < nnz; k++ {
+		j := t.J[k]
+		p := next[j]
+		rowIdx[p] = t.I[k]
+		val[p] = t.V[k]
+		next[j]++
+	}
+	a := &SymCSC{N: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+	a.sortAndMerge()
+	return a
+}
+
+// SymCSC is an N×N symmetric matrix stored as its lower triangle in
+// compressed sparse column form. Row indices within each column are strictly
+// increasing, and every column's first stored row is the diagonal when the
+// diagonal entry is structurally present.
+type SymCSC struct {
+	N      int
+	ColPtr []int // length N+1
+	RowIdx []int // length nnz, sorted ascending within each column
+	Val    []float64
+}
+
+// sortAndMerge sorts row indices within each column and sums duplicates.
+func (a *SymCSC) sortAndMerge() {
+	n := a.N
+	newPtr := make([]int, n+1)
+	outRow := a.RowIdx[:0]
+	outVal := a.Val[:0]
+	// Columns are processed in order, so compaction in place is safe: the
+	// write position never overtakes the read position.
+	type entry struct {
+		row int
+		val float64
+	}
+	var buf []entry
+	pos := 0
+	for j := 0; j < n; j++ {
+		start, end := a.ColPtr[j], a.ColPtr[j+1]
+		buf = buf[:0]
+		for p := start; p < end; p++ {
+			buf = append(buf, entry{a.RowIdx[p], a.Val[p]})
+		}
+		sort.Slice(buf, func(x, y int) bool { return buf[x].row < buf[y].row })
+		newPtr[j] = pos
+		for k := 0; k < len(buf); {
+			r := buf[k].row
+			v := 0.0
+			for k < len(buf) && buf[k].row == r {
+				v += buf[k].val
+				k++
+			}
+			outRow = append(outRow[:pos], r)
+			outVal = append(outVal[:pos], v)
+			pos++
+		}
+	}
+	newPtr[n] = pos
+	a.ColPtr = newPtr
+	a.RowIdx = outRow[:pos]
+	a.Val = outVal[:pos]
+}
+
+// NNZ returns the number of stored (lower-triangle) entries.
+func (a *SymCSC) NNZ() int { return a.ColPtr[a.N] }
+
+// NNZFull returns the number of nonzeros of the full symmetric matrix
+// (off-diagonal entries counted twice).
+func (a *SymCSC) NNZFull() int {
+	diag := 0
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if a.RowIdx[p] == j {
+				diag++
+			}
+		}
+	}
+	return 2*a.NNZ() - diag
+}
+
+// Diag returns the diagonal entries (0 where structurally absent).
+func (a *SymCSC) Diag() []float64 {
+	d := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if a.RowIdx[p] == j {
+				d[j] = a.Val[p]
+			}
+		}
+	}
+	return d
+}
+
+// MulVec computes y = A·x treating A as the full symmetric matrix.
+func (a *SymCSC) MulVec(x, y []float64) {
+	if len(x) != a.N || len(y) != a.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			v := a.Val[p]
+			y[i] += v * xj
+			if i != j {
+				y[j] += v * x[i]
+			}
+		}
+	}
+}
+
+// MulBlock computes Y = A·X for row-major n×m blocks X, Y.
+func (a *SymCSC) MulBlock(x, y *Block) {
+	if x.N != a.N || y.N != a.N || x.M != y.M {
+		panic("sparse: MulBlock dimension mismatch")
+	}
+	m := x.M
+	for i := range y.Data {
+		y.Data[i] = 0
+	}
+	for j := 0; j < a.N; j++ {
+		xj := x.Row(j)
+		yj := y.Row(j)
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			v := a.Val[p]
+			yi := y.Row(i)
+			for c := 0; c < m; c++ {
+				yi[c] += v * xj[c]
+			}
+			if i != j {
+				xi := x.Row(i)
+				for c := 0; c < m; c++ {
+					yj[c] += v * xi[c]
+				}
+			}
+		}
+	}
+}
+
+// PermuteSym returns B = P·A·Pᵀ where perm is the permutation in
+// "new[k] = old[perm[k]]" form: row/column perm[k] of A becomes row/column
+// k of B. The result remains lower-triangular CSC.
+func (a *SymCSC) PermuteSym(perm []int) *SymCSC {
+	n := a.N
+	if len(perm) != n {
+		panic("sparse: PermuteSym length mismatch")
+	}
+	inv := InvertPerm(perm)
+	t := NewTriplet(n)
+	for j := 0; j < n; j++ {
+		nj := inv[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			ni := inv[a.RowIdx[p]]
+			t.Add(ni, nj, a.Val[p])
+		}
+	}
+	return t.Compile()
+}
+
+// Adjacency returns the adjacency structure of the matrix graph: for each
+// vertex, the sorted list of distinct neighbors (both triangles, diagonal
+// excluded).
+func (a *SymCSC) Adjacency() [][]int {
+	n := a.N
+	deg := make([]int, n)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i != j {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	adj := make([][]int, n)
+	for v := range adj {
+		adj[v] = make([]int, 0, deg[v])
+	}
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i != j {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return adj
+}
+
+// ToDense expands the full symmetric matrix into a row-major n×n slice.
+// Intended for small reference checks only.
+func (a *SymCSC) ToDense() []float64 {
+	n := a.N
+	d := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			d[i*n+j] = a.Val[p]
+			d[j*n+i] = a.Val[p]
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (a *SymCSC) Clone() *SymCSC {
+	b := &SymCSC{
+		N:      a.N,
+		ColPtr: append([]int(nil), a.ColPtr...),
+		RowIdx: append([]int(nil), a.RowIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// Validate checks the structural invariants of the lower-triangular CSC
+// form and returns a descriptive error on the first violation.
+func (a *SymCSC) Validate() error {
+	if len(a.ColPtr) != a.N+1 {
+		return fmt.Errorf("sparse: colptr length %d, want %d", len(a.ColPtr), a.N+1)
+	}
+	if a.ColPtr[0] != 0 {
+		return fmt.Errorf("sparse: colptr[0] = %d, want 0", a.ColPtr[0])
+	}
+	nnz := a.ColPtr[a.N]
+	if len(a.RowIdx) != nnz || len(a.Val) != nnz {
+		return fmt.Errorf("sparse: rowidx/val length mismatch with colptr")
+	}
+	for j := 0; j < a.N; j++ {
+		if a.ColPtr[j] > a.ColPtr[j+1] {
+			return fmt.Errorf("sparse: colptr not monotone at column %d", j)
+		}
+		prev := -1
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i < j {
+				return fmt.Errorf("sparse: upper-triangle entry (%d,%d)", i, j)
+			}
+			if i >= a.N {
+				return fmt.Errorf("sparse: row index %d out of range", i)
+			}
+			if i <= prev {
+				return fmt.Errorf("sparse: unsorted/duplicate row %d in column %d", i, j)
+			}
+			prev = i
+		}
+	}
+	return nil
+}
+
+// InvertPerm returns the inverse permutation: inv[perm[k]] = k.
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for k, v := range perm {
+		inv[v] = k
+	}
+	return inv
+}
+
+// IsPerm reports whether p is a permutation of 0..len(p)-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

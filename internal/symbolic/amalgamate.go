@@ -1,0 +1,138 @@
+package symbolic
+
+// Amalgamate merges supernodes into their parents when the merged dense
+// trapezoid would store only a bounded number of explicit zeros ("relaxed
+// supernodes", as in production multifrontal codes descended from the
+// paper's solver, e.g. WSMP). Sparse Laplacian-type matrices produce many
+// narrow supernodes chained along the elimination tree; amalgamation
+// fattens them, which raises the arithmetic intensity of the dense
+// kernels and shortens the chain of pipeline start-ups on the parallel
+// critical path, at the price of storing (and computing with) a few
+// structural zeros.
+//
+// A child ending immediately before its parent group's first column is
+// merged while the added padding stays within maxAbs entries or a
+// maxFill fraction of the merged panel. The returned factor shares the
+// elimination tree with f; NnzL becomes the stored-entry count
+// (including padding), while ColCount and the flop counts keep their
+// exact no-padding values.
+func Amalgamate(f *Factor, maxFill float64, maxAbs int) *Factor {
+	type group struct {
+		startCol, endCol int
+		rows             []int
+		stored           int // current storage including padding
+		exact            int // sum of the members' exact (unpadded) sizes
+	}
+	endsAt := make(map[int]*group, f.NSuper)
+	for s := 0; s < f.NSuper; s++ {
+		t := f.Width(s)
+		ns := f.Height(s)
+		sz := ns*t - t*(t-1)/2
+		grp := &group{
+			startCol: f.Super[s],
+			endCol:   f.Super[s+1],
+			rows:     f.Rows[s],
+			stored:   sz,
+			exact:    sz,
+		}
+		for grp.startCol > 0 {
+			child, ok := endsAt[grp.startCol]
+			if !ok {
+				break
+			}
+			// the candidate must be a child of this group: the parent of
+			// its last column must lie within the group's column range
+			parentCol := f.Tree.Parent[grp.startCol-1]
+			if parentCol < grp.startCol || parentCol >= grp.endCol {
+				break
+			}
+			u := mergeSorted(child.rows, grp.rows)
+			tNew := grp.endCol - child.startCol
+			newStored := len(u)*tNew - tNew*(tNew-1)/2
+			exact := child.exact + grp.exact
+			// total padding is bounded against the exact nonzero count of
+			// the whole group, so successive merges cannot compound.
+			padding := newStored - exact
+			if padding > maxAbs && float64(padding) > maxFill*float64(exact) {
+				break
+			}
+			delete(endsAt, grp.startCol)
+			grp.startCol = child.startCol
+			grp.rows = u
+			grp.stored = newStored
+			grp.exact = exact
+		}
+		endsAt[grp.endCol] = grp
+	}
+
+	// Collect groups in column order and rebuild the supernodal metadata.
+	nsuper := len(endsAt)
+	out := &Factor{
+		N:                f.N,
+		Tree:             f.Tree,
+		ColCount:         f.ColCount,
+		NSuper:           nsuper,
+		Super:            make([]int, 0, nsuper+1),
+		ColToSuper:       make([]int, f.N),
+		Rows:             make([][]int, 0, nsuper),
+		SParent:          make([]int, nsuper),
+		SChildren:        make([][]int, nsuper),
+		FactorFlops:      f.FactorFlops,
+		SolveFlopsPerRHS: f.SolveFlopsPerRHS,
+	}
+	out.Super = append(out.Super, 0)
+	var nnz int64
+	// groups tile [0, N); walk them in order via their start columns
+	starts := make(map[int]*group, nsuper)
+	for _, g := range endsAt {
+		starts[g.startCol] = g
+	}
+	for col := 0; col < f.N; {
+		g := starts[col]
+		if g == nil {
+			panic("symbolic: amalgamation groups do not tile the columns")
+		}
+		s := len(out.Rows)
+		out.Super = append(out.Super, g.endCol)
+		out.Rows = append(out.Rows, g.rows)
+		for j := g.startCol; j < g.endCol; j++ {
+			out.ColToSuper[j] = s
+		}
+		nnz += int64(g.stored)
+		col = g.endCol
+	}
+	out.NnzL = nnz
+	for s := 0; s < nsuper; s++ {
+		last := out.Super[s+1] - 1
+		if p := f.Tree.Parent[last]; p == -1 {
+			out.SParent[s] = -1
+		} else {
+			out.SParent[s] = out.ColToSuper[p]
+			out.SChildren[out.SParent[s]] = append(out.SChildren[out.SParent[s]], s)
+		}
+	}
+	return out
+}
+
+// mergeSorted returns the sorted union of two ascending int slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,127 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/order"
+)
+
+func analyzeGrid63(t *testing.T, nx, ny int) *Factor {
+	t.Helper()
+	a := mesh.Grid2D(nx, ny)
+	perm := order.NestedDissectionGeom(a, mesh.Grid2DGeometry(nx, ny))
+	f, _, _ := Analyze(a.PermuteSym(perm))
+	return f
+}
+
+func TestAmalgamateReducesSupernodes(t *testing.T) {
+	f := analyzeGrid63(t, 31, 31)
+	g := Amalgamate(f, 0.15, 32)
+	if g.NSuper >= f.NSuper {
+		t.Fatalf("amalgamation did not merge anything: %d -> %d", f.NSuper, g.NSuper)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NnzL < f.NnzL {
+		t.Fatal("stored entries cannot shrink")
+	}
+	// padding bound: the global blow-up should stay moderate
+	if float64(g.NnzL) > 1.6*float64(f.NnzL) {
+		t.Fatalf("padding blow-up %.2f too large", float64(g.NnzL)/float64(f.NnzL))
+	}
+}
+
+func TestAmalgamatePartitionConsistent(t *testing.T) {
+	f := analyzeGrid63(t, 17, 13)
+	g := Amalgamate(f, 0.2, 16)
+	if g.Super[0] != 0 || g.Super[g.NSuper] != g.N {
+		t.Fatal("supernode partition broken")
+	}
+	for s := 0; s < g.NSuper; s++ {
+		for j := g.Super[s]; j < g.Super[s+1]; j++ {
+			if g.ColToSuper[j] != s {
+				t.Fatalf("ColToSuper[%d] = %d, want %d", j, g.ColToSuper[j], s)
+			}
+		}
+		if p := g.SParent[s]; p >= 0 {
+			if p <= s {
+				t.Fatalf("supernode %d parent %d not after it", s, p)
+			}
+			found := false
+			for _, c := range g.SChildren[p] {
+				if c == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("SChildren inconsistent with SParent")
+			}
+		}
+	}
+}
+
+func TestAmalgamateZeroBudgetIsIdentityPartition(t *testing.T) {
+	f := analyzeGrid63(t, 11, 11)
+	g := Amalgamate(f, 0, 0)
+	// with zero padding allowed, only merges that add no explicit zeros
+	// happen; maximality of fundamental supernodes means none do
+	if g.NSuper != f.NSuper {
+		t.Fatalf("zero-budget amalgamation changed partition: %d -> %d", f.NSuper, g.NSuper)
+	}
+	if g.NnzL != f.NnzL {
+		t.Fatal("zero-budget amalgamation changed storage")
+	}
+}
+
+func TestAmalgamateRowsSupersetOfMembers(t *testing.T) {
+	f := analyzeGrid63(t, 15, 15)
+	g := Amalgamate(f, 0.25, 48)
+	for s := 0; s < g.NSuper; s++ {
+		set := make(map[int]bool, len(g.Rows[s]))
+		for _, r := range g.Rows[s] {
+			set[r] = true
+		}
+		// every original supernode inside this group contributes its rows
+		for os := 0; os < f.NSuper; os++ {
+			if f.Super[os] < g.Super[s] || f.Super[os] >= g.Super[s+1] {
+				continue
+			}
+			for _, r := range f.Rows[os] {
+				if !set[r] {
+					t.Fatalf("merged supernode %d lost row %d of original %d", s, r, os)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	got := mergeSorted([]int{1, 3, 5}, []int{2, 3, 6, 7})
+	want := []int{1, 2, 3, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("mergeSorted = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSorted = %v", got)
+		}
+	}
+}
+
+func TestQuickAmalgamateValid(t *testing.T) {
+	f := func(nx8, ny8, abs8 uint8, fill8 uint8) bool {
+		nx := int(nx8%8) + 3
+		ny := int(ny8%8) + 3
+		a := mesh.Grid2D(nx, ny)
+		perm := order.NestedDissectionGeom(a, mesh.Grid2DGeometry(nx, ny))
+		fct, _, _ := Analyze(a.PermuteSym(perm))
+		g := Amalgamate(fct, float64(fill8%40)/100, int(abs8%64))
+		return g.Validate() == nil && g.NnzL >= fct.NnzL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package twodsolve implements forward and backward substitution directly
+// on the factorization's 2-D block-cyclic layout — the scheme the paper's
+// Figure 5 table marks "unscalable" for triangular solves. It exists as a
+// measured ablation: every x-block requires a reduction across one grid
+// dimension followed by a broadcast across the other, and consecutive
+// blocks depend on each other, so the communication cannot be pipelined
+// the way the 1-D solvers of package core pipeline it. Comparing the two
+// on the same virtual machine reproduces the paper's argument for paying
+// the 2-D→1-D redistribution.
+//
+// The solver operates on a single dense supernode (a Factor2D built from
+// symbolic.Dense), which is exactly the dense triangular system of the
+// paper's §3.3 comparison; the sparse case only adds tree plumbing around
+// the same per-supernode behaviour.
+package twodsolve
+
+import (
+	"sptrsv/internal/dist"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/parfact"
+	"sptrsv/internal/sparse"
+)
+
+const (
+	tagReduce = 20 << 28
+	tagBcast  = 21 << 28
+	tagVPiece = 22 << 28
+	tagSyncA  = 23 << 28
+	tagSyncB  = 24 << 28
+)
+
+// Stats reports the virtual-time cost of a 2-D solve.
+type Stats struct {
+	Time     float64
+	Flops    int64
+	CommTime float64
+}
+
+// MFLOPS returns the aggregate rate.
+func (s Stats) MFLOPS() float64 {
+	if s.Time <= 0 {
+		return 0
+	}
+	return float64(s.Flops) / s.Time / 1e6
+}
+
+// Solve performs L·Lᵀ·X = B on the 2-D-distributed dense factor f2d
+// (which must hold a single supernode covering the whole matrix) and
+// returns X and the phase statistics.
+func Solve(mach *machine.Machine, f2d *parfact.Factor2D, b *sparse.Block) (*sparse.Block, Stats) {
+	sym := f2d.Sym
+	if sym.NSuper != 1 || sym.Height(0) != sym.N {
+		panic("twodsolve: factor must be one dense supernode (use symbolic.Dense)")
+	}
+	if b.N != sym.N {
+		panic("twodsolve: RHS size mismatch")
+	}
+	n, m := sym.N, b.M
+	g := f2d.Asn.FullGroups[0]
+	q := g.Size()
+	pr, pc := parfact.Grids(q)
+	bs := f2d.BlockOf(0)
+	rowLay := dist.NewCyclic1D(n, bs, pr)
+	colLay := dist.NewCyclic1D(n, bs, pc)
+	nb := rowLay.NumBlocks()
+
+	x := sparse.NewBlock(n, m)
+	// v[r*pc+0] holds the right-hand-side rows of grid row r (solution
+	// rows after the backward sweep); only grid column 0 stores it.
+	v := make([][]float64, q)
+	for rr := 0; rr < pr; rr++ {
+		lr := rowLay.Count(rr)
+		piece := make([]float64, lr*m)
+		for li := 0; li < lr; li++ {
+			copy(piece[li*m:(li+1)*m], b.Row(rowLay.Global(rr, li)))
+		}
+		v[rr*pc] = piece
+	}
+
+	mark := make([]float64, mach.P)
+	end := make([]float64, mach.P)
+	flops0, comm0 := mach.TotalFlops(), mach.TotalCommTime()
+	all := machine.Range(0, mach.P)
+	mach.Run(func(p *machine.Proc) {
+		p.Barrier(all, tagSyncA)
+		mark[p.Rank] = p.Clock()
+		idx := g.Index(p.Rank)
+		if idx >= 0 {
+			st := &procState{
+				p: p, f2d: f2d, g: g, idx: idx, pr: pr, pc: pc,
+				r: idx / pc, c: idx % pc,
+				rowLay: rowLay, colLay: colLay, nb: nb, m: m,
+				v: v[idx],
+			}
+			st.forward()
+			st.backward()
+			st.extract(x)
+		}
+		p.Barrier(all, tagSyncB)
+		end[p.Rank] = p.Clock()
+	})
+	return x, Stats{
+		Time:     maxOf(end) - maxOf(mark),
+		Flops:    mach.TotalFlops() - flops0,
+		CommTime: mach.TotalCommTime() - comm0,
+	}
+}
+
+type procState struct {
+	p              *machine.Proc
+	f2d            *parfact.Factor2D
+	g              machine.Group
+	idx, pr, pc    int
+	r, c           int
+	rowLay, colLay dist.Cyclic1D
+	nb, m          int
+	v              []float64 // RHS piece (grid column 0 only)
+}
+
+func (st *procState) local() []float64 { return st.f2d.Local[st.g.Ranks[st.idx]][0] }
+
+func (st *procState) rowGroup(rr int) machine.Group {
+	ranks := make([]int, st.pc)
+	for c := 0; c < st.pc; c++ {
+		ranks[c] = st.g.Ranks[rr*st.pc+c]
+	}
+	return machine.NewGroup(ranks)
+}
+
+func (st *procState) colGroup(cc int) machine.Group {
+	ranks := make([]int, st.pr)
+	for r := 0; r < st.pr; r++ {
+		ranks[r] = st.g.Ranks[r*st.pc+cc]
+	}
+	return machine.NewGroup(ranks)
+}
+
+// forward runs the per-block reduce→solve→broadcast loop of the 2-D
+// forward elimination; acc accumulates −Σ L(i,j)·x_j for local rows.
+func (st *procState) forward() {
+	p, m := st.p, st.m
+	lrF := st.rowLay.Count(st.r)
+	loc := st.local()
+	acc := make([]float64, lrF*m)
+	for kb := 0; kb < st.nb; kb++ {
+		r0, r1 := st.rowLay.BlockBounds(kb)
+		bw := r1 - r0
+		rr, cc := kb%st.pr, kb%st.pc
+		diagIdx := rr*st.pc + cc
+		var xk []float64
+		if st.r == rr {
+			// contribution of this grid-row member to the block's RHS
+			contrib := make([]float64, bw*m)
+			l0 := st.rowLay.Local(r0)
+			copy(contrib, acc[l0*m:(l0+bw)*m])
+			if st.c == 0 {
+				for i := 0; i < bw*m; i++ {
+					contrib[i] += st.v[l0*m:][i]
+				}
+				p.ChargeCopy(int64(2 * bw * m))
+			}
+			sum := p.ReduceSum(st.rowGroup(rr), cc, tagReduce, contrib)
+			if st.c == cc {
+				// solve the bw×bw lower triangle of the diagonal block
+				xk = sum
+				lc0 := st.colLay.Local(r0)
+				for j := 0; j < bw; j++ {
+					col := loc[(lc0+j)*lrF:]
+					xj := xk[j*m : (j+1)*m]
+					inv := 1 / col[l0+j]
+					for c := 0; c < m; c++ {
+						xj[c] *= inv
+					}
+					for i := j + 1; i < bw; i++ {
+						lij := col[l0+i]
+						xi := xk[i*m : (i+1)*m]
+						for c := 0; c < m; c++ {
+							xi[c] -= lij * xj[c]
+						}
+					}
+				}
+				entries := int64(bw * (bw + 1) / 2)
+				p.Charge(entries, 2*entries*int64(m)+int64(bw*m))
+				// park the solution with the v-holder of this grid row
+				if cc != 0 {
+					p.Send(st.g.Ranks[rr*st.pc], tagVPiece+kb, xk)
+				} else {
+					copy(st.v[l0*m:(l0+bw)*m], xk)
+				}
+			}
+			if st.c == 0 && cc != 0 {
+				sol := p.Recv(st.g.Ranks[diagIdx], tagVPiece+kb)
+				copy(st.v[l0*m:(l0+bw)*m], sol)
+			}
+		}
+		// broadcast x_kb down grid column cc and update accumulators
+		if st.c == cc {
+			xk = p.Bcast(st.colGroup(cc), rr, tagBcast, xk)
+			from := st.rowLay.CountBefore(st.r, r1)
+			lc0 := st.colLay.Local(r0)
+			for j := 0; j < bw; j++ {
+				col := loc[(lc0+j)*lrF:]
+				xj := xk[j*m : (j+1)*m]
+				for li := from; li < lrF; li++ {
+					dst := acc[li*m : (li+1)*m]
+					lij := col[li]
+					for c := 0; c < m; c++ {
+						dst[c] -= lij * xj[c]
+					}
+				}
+			}
+			entries := int64((lrF - from) * bw)
+			p.Charge(entries, 2*entries*int64(m))
+		}
+	}
+}
+
+// backward runs the mirrored loop for Lᵀ·X = Y.
+func (st *procState) backward() {
+	p, m := st.p, st.m
+	lrF := st.rowLay.Count(st.r)
+	lcF := st.colLay.Count(st.c)
+	loc := st.local()
+	accT := make([]float64, lcF*m)
+	for kb := st.nb - 1; kb >= 0; kb-- {
+		r0, r1 := st.rowLay.BlockBounds(kb)
+		bw := r1 - r0
+		rr, cc := kb%st.pr, kb%st.pc
+		diagIdx := rr*st.pc + cc
+		// the y piece travels from the v-holder (rr,0) to the diagonal owner
+		if st.idx == rr*st.pc && cc != 0 {
+			l0 := st.rowLay.Local(r0)
+			p.Send(st.g.Ranks[diagIdx], tagVPiece+st.nb+kb, st.v[l0*m:(l0+bw)*m])
+		}
+		var xk []float64
+		if st.c == cc {
+			contrib := make([]float64, bw*m)
+			lc0 := st.colLay.Local(r0)
+			copy(contrib, accT[lc0*m:(lc0+bw)*m])
+			sum := p.ReduceSum(st.colGroup(cc), rr, tagReduce, contrib)
+			if st.r == rr {
+				var y []float64
+				if cc != 0 {
+					y = p.Recv(st.g.Ranks[rr*st.pc], tagVPiece+st.nb+kb)
+				} else {
+					l0 := st.rowLay.Local(r0)
+					y = append([]float64(nil), st.v[l0*m:(l0+bw)*m]...)
+				}
+				xk = y
+				for i := range xk {
+					xk[i] -= sum[i]
+				}
+				p.Charge(0, int64(bw*m))
+				// transposed triangular solve on the diagonal block
+				l0 := st.rowLay.Local(r0)
+				for j := bw - 1; j >= 0; j-- {
+					col := loc[(lc0+j)*lrF:]
+					xj := xk[j*m : (j+1)*m]
+					for i := j + 1; i < bw; i++ {
+						lij := col[l0+i]
+						xi := xk[i*m : (i+1)*m]
+						for c := 0; c < m; c++ {
+							xj[c] -= lij * xi[c]
+						}
+					}
+					inv := 1 / col[l0+j]
+					for c := 0; c < m; c++ {
+						xj[c] *= inv
+					}
+				}
+				entries := int64(bw * (bw + 1) / 2)
+				p.Charge(entries, 2*entries*int64(m)+int64(bw*m))
+				// park the solution with the v-holder
+				if cc != 0 {
+					p.Send(st.g.Ranks[rr*st.pc], tagVPiece+2*st.nb+kb, xk)
+				} else {
+					copy(st.v[l0*m:(l0+bw)*m], xk)
+				}
+			}
+		}
+		if st.idx == rr*st.pc && cc != 0 {
+			l0 := st.rowLay.Local(r0)
+			sol := p.Recv(st.g.Ranks[diagIdx], tagVPiece+2*st.nb+kb)
+			copy(st.v[l0*m:(l0+bw)*m], sol)
+		}
+		// broadcast x_kb along grid row rr; row-block owners update accT
+		// for their local columns < r0
+		if st.r == rr {
+			xk = p.Bcast(st.rowGroup(rr), cc, tagBcast, xk)
+			l0 := st.rowLay.Local(r0)
+			till := st.colLay.CountBefore(st.c, r0)
+			for lj := 0; lj < till; lj++ {
+				col := loc[lj*lrF:]
+				dst := accT[lj*m : (lj+1)*m]
+				for i := 0; i < bw; i++ {
+					lij := col[l0+i]
+					if lij == 0 {
+						continue
+					}
+					src := xk[i*m : (i+1)*m]
+					for c := 0; c < m; c++ {
+						dst[c] += lij * src[c]
+					}
+				}
+			}
+			entries := int64(till * bw)
+			p.Charge(entries, 2*entries*int64(m))
+		}
+	}
+}
+
+// extract writes the solution rows held in grid column 0 into x.
+func (st *procState) extract(x *sparse.Block) {
+	if st.c != 0 {
+		return
+	}
+	lr := st.rowLay.Count(st.r)
+	for li := 0; li < lr; li++ {
+		copy(x.Row(st.rowLay.Global(st.r, li)), st.v[li*st.m:(li+1)*st.m])
+	}
+	st.p.ChargeCopy(int64(2 * lr * st.m))
+}
+
+func maxOf(xs []float64) float64 {
+	mx := xs[0]
+	for _, v := range xs[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

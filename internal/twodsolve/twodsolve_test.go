@@ -1,0 +1,137 @@
+package twodsolve
+
+import (
+	"fmt"
+	"testing"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mapping"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/parfact"
+	"sptrsv/internal/redist"
+	"sptrsv/internal/sparse"
+)
+
+// denseSetup factors a dense SPD problem in the 2-D layout on p procs.
+func denseSetup(t testing.TB, n, p, b int) (*harness.Prepared, *parfact.Factor2D, *machine.Machine) {
+	t.Helper()
+	pr := harness.PrepareDense(n)
+	asn := mapping.SubtreeToSubcube(pr.Sym, p)
+	mach := machine.New(p, machine.T3D())
+	f2d, _, err := parfact.Factorize(mach, pr.A, pr.Sym, asn, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, f2d, mach
+}
+
+func TestSolve2DMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		pr, f2d, mach := denseSetup(t, 96, p, 8)
+		b := mesh.RandomRHS(96, 3, 1)
+		x, st := Solve(mach, f2d, b)
+		// residual against the dense matrix
+		r := sparse.NewBlock(96, 3)
+		pr.A.MulBlock(x, r)
+		r.AddScaled(-1, b)
+		if rel := r.NormInf() / b.NormInf(); rel > 1e-8 {
+			t.Fatalf("p=%d: residual %g", p, rel)
+		}
+		if st.Time <= 0 || st.Flops <= 0 {
+			t.Fatalf("p=%d: bad stats %+v", p, st)
+		}
+	}
+}
+
+func TestSolve2DMultiBlockSizes(t *testing.T) {
+	for _, b := range []int{1, 3, 8, 17} {
+		pr, f2d, mach := denseSetup(t, 64, 4, b)
+		rhs := mesh.RandomRHS(64, 2, int64(b))
+		x, _ := Solve(mach, f2d, rhs)
+		r := sparse.NewBlock(64, 2)
+		pr.A.MulBlock(x, r)
+		r.AddScaled(-1, rhs)
+		if rel := r.NormInf() / rhs.NormInf(); rel > 1e-8 {
+			t.Fatalf("b=%d: residual %g", b, rel)
+		}
+	}
+}
+
+func TestSolve2DRejectsSparseFactor(t *testing.T) {
+	prob, _ := mesh.ByName("GRID2D-127")
+	pr := harness.Prepare(mesh.Problem{Name: prob.Name, A: mesh.Grid2D(9, 9), Geom: mesh.Grid2DGeometry(9, 9)})
+	asn := mapping.SubtreeToSubcube(pr.Sym, 2)
+	mach := machine.New(2, machine.Zero())
+	f2d, _, err := parfact.Factorize(mach, pr.A, pr.Sym, asn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted a multi-supernode factor")
+		}
+	}()
+	Solve(mach, f2d, mesh.RandomRHS(pr.Sym.N, 1, 1))
+}
+
+// TestFig5UnscalabilityOfTwoD reproduces the Figure 5 comparison: on the
+// same dense triangular system, the 1-D pipelined solver keeps improving
+// with p while the 2-D solver's per-block reduce/broadcast chain makes it
+// slower relative to 1-D as p grows.
+func TestFig5UnscalabilityOfTwoD(t *testing.T) {
+	n := 256
+	ratio := func(p int) float64 {
+		// 2-D solve time
+		_, f2d, mach := denseSetup(t, n, p, 8)
+		b := mesh.RandomRHS(n, 1, 7)
+		_, st2d := Solve(mach, f2d, b)
+		// 1-D solve time after redistribution
+		df, _ := redist.ConvertTo(mach, f2d, 8)
+		sv := core.NewSolver(df, core.Options{B: 8})
+		_, st1d := sv.Solve(mach, b)
+		if st1d.Time <= 0 {
+			t.Fatal("bad 1-D stats")
+		}
+		return st2d.Time / st1d.Time
+	}
+	r4 := ratio(4)
+	r64 := ratio(64)
+	if r64 <= r4 {
+		t.Fatalf("2-D/1-D time ratio should grow with p: %.2f at p=4, %.2f at p=64", r4, r64)
+	}
+	if r64 < 1 {
+		t.Fatalf("at p=64 the 2-D solve should already be slower (ratio %.2f)", r64)
+	}
+}
+
+func TestSolve2DDeterministic(t *testing.T) {
+	run := func() float64 {
+		_, f2d, mach := denseSetup(t, 48, 8, 4)
+		_, st := Solve(mach, f2d, mesh.RandomRHS(48, 2, 3))
+		return st.Time
+	}
+	t1 := run()
+	for i := 0; i < 3; i++ {
+		if t2 := run(); t2 != t1 {
+			t.Fatalf("nondeterministic: %g vs %g", t1, t2)
+		}
+	}
+}
+
+func BenchmarkCompare1Dvs2D(b *testing.B) {
+	// exported here for go test -bench on the package; the headline
+	// comparison lives in the repo-root bench suite
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("2d/p=%d", p), func(b *testing.B) {
+			var vt float64
+			for i := 0; i < b.N; i++ {
+				_, f2d, mach := denseSetup(b, 128, p, 8)
+				_, st := Solve(mach, f2d, mesh.RandomRHS(128, 1, 1))
+				vt = st.Time
+			}
+			b.ReportMetric(vt, "vtime-solve-s")
+		})
+	}
+}
