@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench nativebench
+
+## check: the tier-1 gate — vet, build, full test suite, and a race-detector
+## pass over the concurrency-bearing packages (the native shared-memory
+## solver and the virtual machine).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/native ./internal/machine
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## nativebench: predicted-vs-measured speedup table on the default 2-D mesh.
+nativebench:
+	$(GO) run ./cmd/nativebench

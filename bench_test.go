@@ -19,6 +19,7 @@ import (
 	"sptrsv/internal/machine"
 	"sptrsv/internal/mapping"
 	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
 	"sptrsv/internal/parfact"
 	"sptrsv/internal/redist"
 	"sptrsv/internal/symbolic"
@@ -389,6 +390,67 @@ func BenchmarkSequentialKernels(b *testing.B) {
 			b.ReportMetric(float64(pr.Sym.SolveFlopsPerRHS*int64(m))/1e6, "Mflop/op")
 		})
 	}
+}
+
+// BenchmarkNativeSolver measures the wall-clock throughput of the
+// shared-memory goroutine engine (internal/native) across worker counts
+// and RHS widths, reporting measured MFLOPS alongside the virtual-time
+// simulator's predicted speedup for the same processor count — the
+// model-versus-hardware comparison cmd/nativebench tabulates.
+func BenchmarkNativeSolver(b *testing.B) {
+	pr := benchProblem()
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// simulator predictions (virtual seconds) per processor count
+	predict := func(p int) float64 {
+		asn := mapping.SubtreeToSubcube(pr.Sym, p)
+		df := core.DistributeRows(f, asn, 8)
+		sv := core.NewSolver(df, core.Options{B: 8})
+		_, st := sv.Solve(machine.New(p, machine.T3D()), mesh.RandomRHS(pr.Sym.N, 1, 1))
+		return st.Time
+	}
+	base := predict(1)
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, m := range []int{1, 30} {
+			b.Run(fmt.Sprintf("workers=%d/nrhs=%d", w, m), func(b *testing.B) {
+				sv := native.NewSolver(f, native.Options{Workers: w})
+				rhs := mesh.RandomRHS(pr.Sym.N, m, 1)
+				var st native.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st = sv.Solve(rhs)
+				}
+				b.ReportMetric(st.MFLOPS(pr.Sym.SolveFlopsPerRHS, m), "MFLOPS-measured")
+				b.ReportMetric(base/predict(w), "vspeedup-predicted")
+			})
+		}
+	}
+}
+
+// BenchmarkNativeVsSequential pits the parallel engine at full core count
+// against the plain sequential supernodal solve — the task-DAG overhead
+// is the gap at one core, the speedup is the gap at many.
+func BenchmarkNativeVsSequential(b *testing.B) {
+	pr := benchProblem()
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := mesh.RandomRHS(pr.Sym.N, 4, 1)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := rhs.Clone()
+			f.Solve(x)
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		sv := native.NewSolver(f, native.DefaultOptions())
+		for i := 0; i < b.N; i++ {
+			sv.Solve(rhs)
+		}
+	})
 }
 
 // BenchmarkMachineCollectives measures the virtual machine's collective

@@ -1,0 +1,87 @@
+// Command nativebench closes the loop between the paper's virtual-time
+// model and real hardware: it runs the same sparse triangular solve
+// through the Cray-T3D simulator (predicted speedup at p processors) and
+// through the goroutine-based shared-memory engine of internal/native
+// (measured wall-clock speedup at p workers), printing one
+// predicted-versus-measured table per problem.
+//
+// Measured speedup depends on the host: with GOMAXPROCS cores available,
+// a 2-D mesh problem large enough to amortize task hand-off shows >1×
+// from 2 workers up to roughly the core count, while the simulator's
+// column reports what the paper's cost model predicts for the same
+// elimination-tree parallelism on the T3D.
+//
+// Usage:
+//
+//	nativebench
+//	nativebench -side 201 -nrhs 8 -workers 1,2,4,8 -reps 5
+//	nativebench -cube 17          # 3-D mesh instead of the 2-D grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mesh"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nativebench: ")
+	var (
+		side    = flag.Int("side", 127, "2-D grid side length (n = side²)")
+		cube    = flag.Int("cube", 0, "if > 0, use a cube³ 3-D mesh instead of the 2-D grid")
+		nrhs    = flag.Int("nrhs", 4, "number of right-hand sides")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated processor/worker counts (powers of two)")
+		reps    = flag.Int("reps", 3, "native repetitions per count (best time kept)")
+	)
+	flag.Parse()
+	counts, err := parseCounts(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := mesh.Problem{
+		Name: fmt.Sprintf("GRID2D-%d", *side),
+		A:    mesh.Grid2D(*side, *side), Geom: mesh.Grid2DGeometry(*side, *side),
+	}
+	if *cube > 0 {
+		prob = mesh.Problem{
+			Name: fmt.Sprintf("CUBE-%d", *cube),
+			A:    mesh.Grid3D(*cube, *cube, *cube), Geom: mesh.Grid3DGeometry(*cube, *cube, *cube),
+		}
+	}
+	fmt.Printf("Predicted (virtual Cray T3D, p processors) vs measured (this host,\n")
+	fmt.Printf("%d cores, p worker goroutines) speedup of the parallel FBsolve.\n\n", runtime.GOMAXPROCS(0))
+	pr := harness.Prepare(prob)
+	table, err := harness.NativeVsSimTable(pr, counts, *nrhs, *reps, machine.T3D())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+}
+
+// parseCounts parses the -workers list, requiring powers of two (the
+// simulator's subtree-to-subcube mapping needs them).
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q: %w", f, err)
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return nil, fmt.Errorf("worker count %d is not a power of two", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}

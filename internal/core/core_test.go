@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -248,6 +249,24 @@ func TestNewSolverRejectsMismatchedBlockSize(t *testing.T) {
 		}
 	}()
 	NewSolver(df, Options{B: 8})
+}
+
+func TestSolveRejectsZeroProcessorMapping(t *testing.T) {
+	_, sym, f := setup(t, grid2DProblem(6, 6))
+	asn := mapping.SubtreeToSubcube(sym, 1)
+	df := DistributeRows(f, asn, 4)
+	sv := NewSolver(df, Options{B: 4})
+	df.Asn = &mapping.Assignment{} // corrupted mapping: P = 0
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("zero-processor mapping did not panic")
+		}
+		if msg, ok := e.(string); !ok || !strings.Contains(msg, "no processors") {
+			t.Fatalf("panic message not descriptive: %v", e)
+		}
+	}()
+	sv.Solve(machine.New(1, machine.Zero()), sparse.NewBlock(sym.N, 1))
 }
 
 func TestTraceCoversBothSweeps(t *testing.T) {

@@ -22,6 +22,9 @@ const (
 func (sv *Solver) Solve(mach *machine.Machine, b *sparse.Block) (*sparse.Block, Stats) {
 	df := sv.DF
 	sym := df.Sym
+	if df.Asn.P <= 0 {
+		panic("core: mapping has no processors (Asn.P <= 0)")
+	}
 	if mach.P != df.Asn.P {
 		panic("core: machine size does not match the mapping")
 	}
@@ -70,7 +73,7 @@ func (sv *Solver) Solve(mach *machine.Machine, b *sparse.Block) (*sparse.Block, 
 		st.endClocks[p.Rank] = p.Clock()
 	})
 	return x, Stats{
-		Time:     maxOf(st.endClocks) - maxOf(st.markClocks),
+		Time:     machine.PhaseTime(st.markClocks, st.endClocks),
 		Flops:    mach.TotalFlops() - flops0,
 		CommTime: mach.TotalCommTime() - comm0,
 	}
@@ -85,14 +88,4 @@ func SolveSequentialTime(nnzL, n int64, m int, model machine.CostModel) float64 
 	entries := 2 * nnzL // forward + backward sweeps
 	flops := 2*entries*int64(m) + 2*n*int64(m)
 	return float64(entries)*model.Tm + float64(flops)*model.Tc
-}
-
-func maxOf(xs []float64) float64 {
-	mx := xs[0]
-	for _, v := range xs[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
 }

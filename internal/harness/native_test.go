@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"sptrsv/internal/machine"
+)
+
+func TestRunNativeSmall(t *testing.T) {
+	pr := prepSmall(t)
+	for _, w := range []int{1, 4, 8} {
+		for _, m := range []int{1, 4} {
+			res, err := RunNative(pr, w, m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Residual > 1e-10 {
+				t.Fatalf("workers=%d nrhs=%d: residual %g", w, m, res.Residual)
+			}
+			if res.Workers != w || res.NRHS != m || res.Solve.Tasks != pr.Sym.NSuper {
+				t.Fatalf("workers=%d nrhs=%d: result metadata %+v", w, m, res)
+			}
+			if res.Solve.Total() <= 0 || res.FactorTime <= 0 {
+				t.Fatalf("workers=%d nrhs=%d: missing wall-clock stats %+v", w, m, res)
+			}
+		}
+	}
+}
+
+func TestNativeVsSimTableFormat(t *testing.T) {
+	pr := prepSmall(t)
+	table, err := NativeVsSimTable(pr, []int{1, 4}, 2, 2, machine.T3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim-spdup", "meas-spdup", "residual", pr.Name} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	rows, residual, err := NativeVsSim(pr, []int{4}, 2, 2, machine.T3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-10 {
+		t.Fatalf("residual %g", residual)
+	}
+	r := rows[0]
+	if r.P != 4 || r.PredictedTime <= 0 || r.MeasuredTime <= 0 {
+		t.Fatalf("row %+v", r)
+	}
+	// the simulator must predict a real speedup for p=4 on a 2-D mesh
+	if r.PredictedSpeedup <= 1 {
+		t.Fatalf("predicted speedup %.2f not > 1", r.PredictedSpeedup)
+	}
+}
+
+// TestNativeResidualSuite checks the native engine end to end on every
+// harness mesh problem: residuals at most 1e-10 with 8 workers.
+func TestNativeResidualSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite factorization is moderately expensive")
+	}
+	for _, pr := range SuitePrepared() {
+		res, err := RunNative(pr, 8, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Residual > 1e-10 {
+			t.Fatalf("%s: residual %g", pr.Name, res.Residual)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPhaseTimeSkewedClocks is the regression test for the phase-elapsed
+// accounting fix: with processors entering a phase at skewed clocks, the
+// phase spans from the *earliest* mark to the latest end. The old
+// maxOf(end) − maxOf(mark) accounting reported 1 second here instead of
+// 11 — understating the phase by the whole skew.
+func TestPhaseTimeSkewedClocks(t *testing.T) {
+	m := New(2, Zero())
+	mark := make([]float64, 2)
+	end := make([]float64, 2)
+	m.Run(func(p *Proc) {
+		if p.Rank == 1 {
+			p.Elapse(10) // rank 1 reaches the phase 10 virtual seconds late
+		}
+		mark[p.Rank] = p.Clock()
+		p.Elapse(1)
+		end[p.Rank] = p.Clock()
+	})
+	if got := PhaseTime(mark, end); got != 11 {
+		t.Fatalf("PhaseTime = %g, want 11 (phase spans earliest mark to latest end)", got)
+	}
+	if understated := MaxOf(end) - MaxOf(mark); understated != 1 {
+		t.Fatalf("skew setup broken: maxOf-maxOf gives %g, expected the understated 1", understated)
+	}
+}
+
+// TestPhaseTimeAfterBarrier checks the common pipeline pattern: marks
+// taken right after a global barrier coincide, so PhaseTime degenerates
+// to the old accounting there (the fix does not disturb the paper's
+// published virtual times).
+func TestPhaseTimeAfterBarrier(t *testing.T) {
+	m := New(4, T3D())
+	g := Range(0, 4)
+	mark := make([]float64, 4)
+	end := make([]float64, 4)
+	m.Run(func(p *Proc) {
+		p.Elapse(float64(p.Rank)) // skew before the barrier
+		p.Barrier(g, 1)
+		mark[p.Rank] = p.Clock()
+		p.Elapse(2)
+		p.Barrier(g, 2)
+		end[p.Rank] = p.Clock()
+	})
+	if got, old := PhaseTime(mark, end), MaxOf(end)-MaxOf(mark); got != old {
+		t.Fatalf("post-barrier marks should coincide: PhaseTime %g vs old accounting %g", got, old)
+	}
+}
+
+// TestMinMaxOfEmptyClockSlices checks the zero-processor guard: the
+// helpers must fail with a descriptive message, not an opaque index
+// panic.
+func TestMinMaxOfEmptyClockSlices(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"MaxOf": MaxOf, "MinOf": MinOf} {
+		func() {
+			defer func() {
+				e := recover()
+				if e == nil {
+					t.Fatalf("%s(nil) did not panic", name)
+				}
+				if msg, ok := e.(string); !ok || !strings.Contains(msg, "zero-processor") {
+					t.Fatalf("%s(nil) panic message not descriptive: %v", name, e)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestMinOfMaxOf(t *testing.T) {
+	xs := []float64{3, 1, 4, 1.5}
+	if got := MinOf(xs); got != 1 {
+		t.Fatalf("MinOf = %g", got)
+	}
+	if got := MaxOf(xs); got != 4 {
+		t.Fatalf("MaxOf = %g", got)
+	}
+}
+
+// TestDimRejectsNonPowerOfTwo checks that a malformed group (built as a
+// literal, bypassing NewGroup) fails loudly instead of silently routing
+// hypercube collectives to wrong partners via bits.TrailingZeros.
+func TestDimRejectsNonPowerOfTwo(t *testing.T) {
+	for _, q := range []int{0, 3, 6, 12} {
+		g := Group{Ranks: make([]int, q)}
+		func() {
+			defer func() {
+				e := recover()
+				if e == nil {
+					t.Fatalf("Dim of size-%d group did not panic", q)
+				}
+				if msg, ok := e.(string); !ok || !strings.Contains(msg, "power of two") {
+					t.Fatalf("Dim panic message not descriptive: %v", e)
+				}
+			}()
+			g.Dim()
+		}()
+	}
+}
+
+// TestHalvesRejectsNonPowerOfTwo checks the matching guard on the
+// subtree-to-subcube split.
+func TestHalvesRejectsNonPowerOfTwo(t *testing.T) {
+	for _, q := range []int{3, 6} {
+		g := Group{Ranks: make([]int, q)}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Halves of size-%d group did not panic", q)
+				}
+			}()
+			g.Halves()
+		}()
+	}
+}
+
+// TestDimValidSizes checks Dim still returns log2 for well-formed groups.
+func TestDimValidSizes(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		if got := Range(0, 1<<d).Dim(); got != d {
+			t.Fatalf("Dim(2^%d group) = %d", d, got)
+		}
+	}
+}

@@ -36,8 +36,16 @@ func Range(lo, size int) Group {
 // Size returns the number of processors in the group.
 func (g Group) Size() int { return len(g.Ranks) }
 
-// Dim returns log2(size).
-func (g Group) Dim() int { return bits.TrailingZeros(uint(len(g.Ranks))) }
+// Dim returns log2(size). It panics if the group size is not a power of
+// two: silently returning the trailing-zero count of, say, a 6-member
+// group would make every hypercube collective route to wrong partners.
+func (g Group) Dim() int {
+	q := len(g.Ranks)
+	if q == 0 || q&(q-1) != 0 {
+		panic(fmt.Sprintf("machine: Dim of group of size %d (not a power of two)", q))
+	}
+	return bits.TrailingZeros(uint(q))
+}
 
 // Index returns the cube index of rank within the group, or -1.
 func (g Group) Index(rank int) int {
@@ -52,10 +60,14 @@ func (g Group) Index(rank int) int {
 // Halves splits the group into its lower and upper index halves — the two
 // subcubes assigned to the two children in subtree-to-subcube mapping.
 func (g Group) Halves() (Group, Group) {
-	if g.Size() < 2 {
+	q := g.Size()
+	if q < 2 {
 		panic("machine: cannot halve a singleton group")
 	}
-	h := g.Size() / 2
+	if q&(q-1) != 0 {
+		panic(fmt.Sprintf("machine: Halves of group of size %d (not a power of two)", q))
+	}
+	h := q / 2
 	return Group{Ranks: g.Ranks[:h]}, Group{Ranks: g.Ranks[h:]}
 }
 

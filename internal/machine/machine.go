@@ -242,6 +242,49 @@ func (m *Machine) TotalCommTime() float64 {
 	return t
 }
 
+// MaxOf returns the latest of a set of per-processor clocks. It panics
+// with a descriptive message on an empty slice (a zero-processor machine
+// has no clocks to compare).
+func MaxOf(clocks []float64) float64 {
+	if len(clocks) == 0 {
+		panic("machine: MaxOf of empty clock slice (zero-processor machine?)")
+	}
+	mx := clocks[0]
+	for _, v := range clocks[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MinOf returns the earliest of a set of per-processor clocks. It panics
+// with a descriptive message on an empty slice.
+func MinOf(clocks []float64) float64 {
+	if len(clocks) == 0 {
+		panic("machine: MinOf of empty clock slice (zero-processor machine?)")
+	}
+	mn := clocks[0]
+	for _, v := range clocks[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// PhaseTime returns the elapsed virtual time of a phase measured between
+// two sets of per-processor clocks: markClocks sampled right after the
+// phase's opening barrier and endClocks sampled after its closing
+// barrier. The phase starts when the *earliest* processor leaves the
+// opening barrier and ends when the *latest* one passes the closing
+// barrier, so the elapsed time is MaxOf(end) − MinOf(mark); taking the
+// maximum of the marks instead would understate the phase whenever the
+// barrier releases processors at skewed clocks.
+func PhaseTime(markClocks, endClocks []float64) float64 {
+	return MaxOf(endClocks) - MinOf(markClocks)
+}
+
 // Proc is one virtual processor. Its methods must only be called from the
 // goroutine running it (inside Machine.Run).
 type Proc struct {

@@ -1,0 +1,315 @@
+// Package native executes the paper's supernodal forward elimination and
+// back substitution as real shared-memory task parallelism: a wall-clock,
+// goroutine-based engine that closes the loop between the virtual-time
+// T3D simulator (package machine/core) and the hardware the reproduction
+// actually runs on.
+//
+// The parallel structure is exactly the one the paper exploits for
+// subtree-to-subcube mapping — independence of disjoint elimination-tree
+// subtrees — but realized as a task DAG over supernodes instead of a
+// processor mapping: forward elimination runs one task per supernode with
+// dependencies child→parent (leaves to root), back substitution reverses
+// every edge (root to leaves). Tasks become runnable when an atomic
+// dependency counter reaches zero and are executed by a bounded pool of
+// worker goroutines, so arbitrarily wide elimination trees run on any
+// core count without oversubscription.
+//
+// Numerically the engine mirrors, operation for operation, the virtual
+// machine's single-processor pipeline (package core with p = 1): child
+// contributions are accumulated into per-supernode buffers in ascending
+// child order before the right-hand side is added, the trapezoid sweeps
+// use the same reciprocal scaling and column-ascending update order, and
+// back substitution reuses the simulator's per-block partial-sum
+// grouping. Because every task writes only its own supernode's buffer and
+// reads only finished children's (forward) or its parent's (backward),
+// the solution is bitwise identical to the simulator's p=1 result for any
+// worker count and any task interleaving — the determinism the tests pin
+// down.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/dist"
+	"sptrsv/internal/sparse"
+)
+
+// Options configure the native solver.
+type Options struct {
+	// Workers is the number of worker goroutines executing supernode
+	// tasks; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// B is the back-substitution partial-sum block width. It must equal
+	// the simulator's preferred solver block size (the paper's b) for the
+	// bitwise-reproducibility guarantee; 0 means the experiments' default
+	// of 8.
+	B int
+}
+
+// DefaultOptions returns the defaults: one worker per available core,
+// block width 8 (matching core.DefaultOptions).
+func DefaultOptions() Options { return Options{} }
+
+// Solver is a reusable shared-memory parallel triangular solver over one
+// numeric factor. The factor panels are shared read-only between workers;
+// a Solver is safe for sequential reuse across many right-hand sides, and
+// independent Solvers may run concurrently.
+type Solver struct {
+	F       *chol.Factor
+	workers int
+	b       int
+
+	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
+	// below-triangle row of supernode c (the child→parent scatter map the
+	// simulator precomputes as its xferPlan).
+	parentPos [][]int
+	// leaves are the supernodes with no children (forward-pass sources);
+	// roots are the supernodes with no parent (backward-pass sources).
+	leaves, roots []int
+}
+
+// Stats reports one native solve: measured wall-clock time of each sweep
+// plus the pool geometry (the quantities cmd/nativebench compares against
+// the simulator's virtual-time predictions).
+type Stats struct {
+	Workers  int
+	Tasks    int // supernode tasks per sweep
+	Forward  time.Duration
+	Backward time.Duration
+}
+
+// Total returns the combined forward+backward wall-clock time.
+func (st Stats) Total() time.Duration { return st.Forward + st.Backward }
+
+// MFLOPS returns the measured aggregate MFLOPS rate for m right-hand
+// sides, using the same flop count the virtual machine charges.
+func (st Stats) MFLOPS(flopsPerRHS int64, m int) float64 {
+	s := st.Total().Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(flopsPerRHS) * float64(m) / s / 1e6
+}
+
+// NewSolver precomputes the task DAG and scatter maps for the given
+// numeric factor.
+func NewSolver(f *chol.Factor, opts Options) *Solver {
+	sym := f.Sym
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	b := opts.B
+	if b <= 0 {
+		b = 8
+	}
+	sv := &Solver{
+		F:         f,
+		workers:   w,
+		b:         b,
+		parentPos: make([][]int, sym.NSuper),
+	}
+	for c := 0; c < sym.NSuper; c++ {
+		par := sym.SParent[c]
+		if len(sym.SChildren[c]) == 0 {
+			sv.leaves = append(sv.leaves, c)
+		}
+		if par < 0 {
+			sv.roots = append(sv.roots, c)
+			continue
+		}
+		// merge scan: every below row of c appears in the parent's sorted
+		// row list (the supernodal elimination-tree invariant buildPlans
+		// relies on too).
+		crows, prows := sym.Rows[c], sym.Rows[par]
+		tc := sym.Width(c)
+		pos := make([]int, len(crows)-tc)
+		pi := 0
+		for k := tc; k < len(crows); k++ {
+			for prows[pi] != crows[k] {
+				pi++
+			}
+			pos[k-tc] = pi
+		}
+		sv.parentPos[c] = pos
+	}
+	return sv
+}
+
+// Workers returns the solver's worker-pool size.
+func (sv *Solver) Workers() int { return sv.workers }
+
+// solveState holds the per-solve working buffers: bufs[s] is the
+// Height(s)×m right-hand-side/solution piece of supernode s (row-major),
+// the shared-memory analogue of the simulator's distributed v pieces.
+// Each forward task writes only bufs[s] (reading finished children); each
+// backward task writes only bufs[s] (reading its finished parent), so no
+// two concurrent tasks ever touch the same buffer.
+type solveState struct {
+	m    int
+	bufs [][]float64
+}
+
+// Solve performs the complete forward elimination and back substitution
+// for the (postordered) right-hand-side block b, returning the solution X
+// with A·X = B and the measured wall-clock statistics. b is not modified.
+func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
+	sym := sv.F.Sym
+	if b.N != sym.N {
+		panic(fmt.Sprintf("native: RHS size %d != matrix size %d", b.N, sym.N))
+	}
+	st := &solveState{m: b.M, bufs: make([][]float64, sym.NSuper)}
+	for s := 0; s < sym.NSuper; s++ {
+		st.bufs[s] = make([]float64, sym.Height(s)*b.M)
+	}
+	x := sparse.NewBlock(sym.N, b.M)
+	stats := Stats{Workers: sv.workers, Tasks: sym.NSuper}
+
+	// Forward elimination: leaves → root. Task s depends on all children.
+	deps := make([]int32, sym.NSuper)
+	for s := 0; s < sym.NSuper; s++ {
+		deps[s] = int32(len(sym.SChildren[s]))
+	}
+	t0 := time.Now()
+	sv.runDAG(deps, sv.leaves, func(s int) []int {
+		if p := sym.SParent[s]; p >= 0 {
+			return []int{p}
+		}
+		return nil
+	}, func(s int) { sv.forwardSupernode(s, st, b) })
+	stats.Forward = time.Since(t0)
+
+	// Back substitution: root → leaves. Task s depends on its parent.
+	for s := 0; s < sym.NSuper; s++ {
+		if sym.SParent[s] < 0 {
+			deps[s] = 0
+		} else {
+			deps[s] = 1
+		}
+	}
+	t0 = time.Now()
+	sv.runDAG(deps, sv.roots, func(s int) []int {
+		return sym.SChildren[s]
+	}, func(s int) { sv.backwardSupernode(s, st, x) })
+	stats.Backward = time.Since(t0)
+	return x, stats
+}
+
+// forwardSupernode is one forward-elimination task: gather finished
+// children, add the right-hand side, and run the dense trapezoid sweep.
+// The operation order mirrors the simulator's p=1 execution exactly —
+// children ascending, then RHS, then columns ascending with reciprocal
+// scaling — so the result is bitwise reproducible.
+func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) {
+	sym := sv.F.Sym
+	ns := sym.Height(s)
+	t := sym.Width(s)
+	j0 := sym.Super[s]
+	m := st.m
+	panel := sv.F.Panels[s]
+	v := st.bufs[s]
+	for _, c := range sym.SChildren[s] {
+		cv := st.bufs[c]
+		tc := sym.Width(c)
+		for i, pos := range sv.parentPos[c] {
+			src := cv[(tc+i)*m : (tc+i+1)*m]
+			dst := v[pos*m : (pos+1)*m]
+			for k := 0; k < m; k++ {
+				dst[k] += src[k]
+			}
+		}
+	}
+	for j := 0; j < t; j++ {
+		row := b.Row(j0 + j)
+		dst := v[j*m : (j+1)*m]
+		for k := 0; k < m; k++ {
+			dst[k] += row[k]
+		}
+	}
+	for j := 0; j < t; j++ {
+		col := panel[j*ns:]
+		xj := v[j*m : (j+1)*m]
+		inv := 1 / col[j]
+		for c := 0; c < m; c++ {
+			xj[c] *= inv
+		}
+		for i := j + 1; i < ns; i++ {
+			lij := col[i]
+			dst := v[i*m : (i+1)*m]
+			for c := 0; c < m; c++ {
+				dst[c] -= lij * xj[c]
+			}
+		}
+	}
+}
+
+// backwardSupernode is one back-substitution task: pull the ancestor
+// solution values for the below-triangle rows from the finished parent,
+// then run the blocked transposed sweep. Blocking (width, descending
+// block order, per-block partial-sum accumulation with the simulator's
+// zero skip) replicates the p=1 pipeline's floating-point grouping.
+func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) {
+	sym := sv.F.Sym
+	ns := sym.Height(s)
+	t := sym.Width(s)
+	j0 := sym.Super[s]
+	m := st.m
+	panel := sv.F.Panels[s]
+	v := st.bufs[s]
+	if par := sym.SParent[s]; par >= 0 {
+		pv := st.bufs[par]
+		for i, pos := range sv.parentPos[s] {
+			copy(v[(t+i)*m:(t+i+1)*m], pv[pos*m:(pos+1)*m])
+		}
+	}
+	bsz := dist.AdaptiveBlock(ns, 1, sv.b) // the simulator's p=1 blocking
+	tb := (t + bsz - 1) / bsz
+	for k := tb - 1; k >= 0; k-- {
+		r0 := k * bsz
+		r1 := r0 + bsz
+		if r1 > t {
+			r1 = t
+		}
+		bw := r1 - r0
+		acc := make([]float64, bw*m)
+		for j := 0; j < bw; j++ {
+			col := panel[(r0+j)*ns:]
+			aj := acc[j*m : (j+1)*m]
+			for li := r1; li < ns; li++ {
+				lij := col[li]
+				if lij == 0 {
+					continue
+				}
+				src := v[li*m : (li+1)*m]
+				for c := 0; c < m; c++ {
+					aj[c] += lij * src[c]
+				}
+			}
+		}
+		xk := v[r0*m : r1*m]
+		for i := range acc {
+			xk[i] -= acc[i]
+		}
+		for j := bw - 1; j >= 0; j-- {
+			col := panel[(r0+j)*ns:]
+			xj := xk[j*m : (j+1)*m]
+			for i := j + 1; i < bw; i++ {
+				lij := col[r0+i]
+				xi := xk[i*m : (i+1)*m]
+				for c := 0; c < m; c++ {
+					xj[c] -= lij * xi[c]
+				}
+			}
+			inv := 1 / col[r0+j]
+			for c := 0; c < m; c++ {
+				xj[c] *= inv
+			}
+		}
+	}
+	for j := 0; j < t; j++ {
+		copy(x.Row(j0+j), v[j*m:(j+1)*m])
+	}
+}

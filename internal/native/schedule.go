@@ -1,0 +1,52 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runDAG executes one task per supernode with a bounded worker pool.
+// deps[s] holds the number of unfinished predecessors of task s (consumed
+// destructively); sources are the tasks that start runnable; succs(s)
+// lists the tasks unblocked by s's completion. A task is enqueued exactly
+// once, by the worker that drops its dependency counter to zero — the
+// atomic decrement plus the channel hand-off give the happens-before edge
+// from every predecessor's writes to the successor's reads, which is what
+// makes the per-supernode buffers race-free under any interleaving.
+func (sv *Solver) runDAG(deps []int32, sources []int, succs func(s int) []int, task func(s int)) {
+	n := len(deps)
+	if n == 0 {
+		return
+	}
+	workers := sv.workers
+	if workers > n {
+		workers = n
+	}
+	// The queue never holds more than n tasks in total, so a buffer of n
+	// makes every enqueue non-blocking (workers never stall on send).
+	ready := make(chan int, n)
+	for _, s := range sources {
+		ready <- s
+	}
+	var remaining sync.WaitGroup
+	remaining.Add(n)
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for s := range ready {
+				task(s)
+				for _, t := range succs(s) {
+					if atomic.AddInt32(&deps[t], -1) == 0 {
+						ready <- t
+					}
+				}
+				remaining.Done()
+			}
+		}()
+	}
+	remaining.Wait()
+	close(ready)
+	pool.Wait()
+}

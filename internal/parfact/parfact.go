@@ -152,7 +152,7 @@ func Factorize(mach *machine.Machine, a *sparse.SymCSC, sym *symbolic.Factor,
 		}
 	}
 	return f2d, Stats{
-		Time:     maxOf(endClocks) - maxOf(markClocks),
+		Time:     machine.PhaseTime(markClocks, endClocks),
 		Flops:    mach.TotalFlops() - flops0,
 		CommTime: mach.TotalCommTime() - comm0,
 	}, nil
@@ -466,14 +466,4 @@ func (f *Factor2D) Gathered() *chol.Factor {
 		panels[s] = panel
 	}
 	return &chol.Factor{Sym: sym, Panels: panels}
-}
-
-func maxOf(xs []float64) float64 {
-	mx := xs[0]
-	for _, v := range xs[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
 }

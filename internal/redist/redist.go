@@ -62,7 +62,7 @@ func ConvertTo(mach *machine.Machine, f2d *parfact.Factor2D, bSolve int) (*core.
 		w += v
 	}
 	return df, Stats{
-		Time:     maxOf(endClocks) - maxOf(markClocks),
+		Time:     machine.PhaseTime(markClocks, endClocks),
 		Words:    w,
 		CommTime: mach.TotalCommTime() - comm0,
 	}
@@ -141,14 +141,4 @@ func convertSupernode(p *machine.Proc, f2d *parfact.Factor2D, df *core.DistFacto
 	}
 	p.ChargeCopy(2 * stored)
 	return sent
-}
-
-func maxOf(xs []float64) float64 {
-	mx := xs[0]
-	for _, v := range xs[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
 }

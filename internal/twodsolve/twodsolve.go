@@ -100,7 +100,7 @@ func Solve(mach *machine.Machine, f2d *parfact.Factor2D, b *sparse.Block) (*spar
 		end[p.Rank] = p.Clock()
 	})
 	return x, Stats{
-		Time:     maxOf(end) - maxOf(mark),
+		Time:     machine.PhaseTime(mark, end),
 		Flops:    mach.TotalFlops() - flops0,
 		CommTime: mach.TotalCommTime() - comm0,
 	}
@@ -319,14 +319,4 @@ func (st *procState) extract(x *sparse.Block) {
 		copy(x.Row(st.rowLay.Global(st.r, li)), st.v[li*st.m:(li+1)*st.m])
 	}
 	st.p.ChargeCopy(int64(2 * lr * st.m))
-}
-
-func maxOf(xs []float64) float64 {
-	mx := xs[0]
-	for _, v := range xs[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
 }
