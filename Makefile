@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench nativebench
+.PHONY: check vet build test race fuzz bench nativebench
 
 ## check: the tier-1 gate — vet, build, full test suite, and a race-detector
 ## pass over the concurrency-bearing packages (the native shared-memory
-## solver and the virtual machine).
+## solver, the virtual machine, fault injection, and the harness).
 check: vet build test race
 
 vet:
@@ -17,7 +17,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/native ./internal/machine
+	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness
+
+## fuzz: short never-panic smoke of the Harwell-Boeing reader (same as CI).
+fuzz:
+	$(GO) test -fuzz=FuzzReadHarwellBoeing -fuzztime=10s ./internal/sparse
 
 bench:
 	$(GO) test -bench=. -benchmem .

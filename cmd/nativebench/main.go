@@ -11,24 +11,39 @@
 // column reports what the paper's cost model predicts for the same
 // elimination-tree parallelism on the T3D.
 //
+// With -inject the benchmark becomes a fault drill instead: a fault spec
+// (see internal/faultinject) is armed against one supernode task, the
+// hardened SolveCtx path runs once to show the structured error it
+// surfaces, and then harness.SolveRobust runs with the fault still active
+// to show how far the degradation ladder recovers.
+//
 // Usage:
 //
 //	nativebench
 //	nativebench -side 201 -nrhs 8 -workers 1,2,4,8 -reps 5
 //	nativebench -cube 17          # 3-D mesh instead of the 2-D grid
+//	nativebench -side 63 -inject panic:3         # forward task 3 panics
+//	nativebench -side 63 -inject nan:10          # poison supernode 10's panel
+//	nativebench -side 63 -inject stall:0:30s -timeout 2s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"sptrsv/internal/chol"
+	"sptrsv/internal/faultinject"
 	"sptrsv/internal/harness"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
 )
 
 func main() {
@@ -40,6 +55,8 @@ func main() {
 		nrhs    = flag.Int("nrhs", 4, "number of right-hand sides")
 		workers = flag.String("workers", "1,2,4,8", "comma-separated processor/worker counts (powers of two)")
 		reps    = flag.Int("reps", 3, "native repetitions per count (best time kept)")
+		inject  = flag.String("inject", "", "fault spec KIND:SUPERNODE[:DUR][@backward] (panic, error, stall, nan); runs the fault drill instead of the benchmark")
+		timeout = flag.Duration("timeout", 0, "solve deadline for the fault drill (0 = none)")
 	)
 	flag.Parse()
 	counts, err := parseCounts(*workers)
@@ -56,6 +73,12 @@ func main() {
 			A:    mesh.Grid3D(*cube, *cube, *cube), Geom: mesh.Grid3DGeometry(*cube, *cube, *cube),
 		}
 	}
+	if *inject != "" {
+		if err := faultDrill(harness.Prepare(prob), *inject, *nrhs, counts[len(counts)-1], *timeout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("Predicted (virtual Cray T3D, p processors) vs measured (this host,\n")
 	fmt.Printf("%d cores, p worker goroutines) speedup of the parallel FBsolve.\n\n", runtime.GOMAXPROCS(0))
 	pr := harness.Prepare(prob)
@@ -64,6 +87,80 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(table)
+}
+
+// faultDrill arms the injection, shows the structured error SolveCtx
+// surfaces, then lets harness.SolveRobust climb the degradation ladder
+// with the fault still active.
+func faultDrill(pr *harness.Prepared, spec string, nrhs, workers int, timeout time.Duration) error {
+	inj, err := faultinject.Parse(spec)
+	if err != nil {
+		return err
+	}
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		return err
+	}
+	if _, err := inj.Poison(f); err != nil { // no-op unless KindNaN; fault stays armed
+		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	fmt.Printf("%s: N = %d, supernodes = %d, workers = %d\n", pr.Name, pr.Sym.N, pr.Sym.NSuper, workers)
+	fmt.Printf("injecting %s\n\n", inj)
+	opts := native.Options{Workers: workers, TaskHook: inj.Hook()}
+	b := mesh.RandomRHS(pr.Sym.N, nrhs, 1)
+	sv := native.NewSolver(f, opts)
+
+	t0 := time.Now()
+	_, _, serr := sv.SolveCtx(ctx, b.Clone())
+	fmt.Printf("SolveCtx: %-12s after %s: %v\n", classify(serr), time.Since(t0).Round(time.Millisecond), serr)
+
+	t0 = time.Now()
+	res, rerr := harness.SolveRobust(ctx, pr, f, b, opts, 1e-10)
+	if rerr != nil {
+		verdict := "ladder exhausted"
+		var ce *native.CancelledError
+		if errors.As(rerr, &ce) {
+			verdict = "aborted (no fallback on cancellation)"
+		}
+		fmt.Printf("SolveRobust: %s after %s: %v\n", verdict, time.Since(t0).Round(time.Millisecond), rerr)
+		return nil
+	}
+	fmt.Printf("SolveRobust: recovered via %q after %s, residual = %.3g\n",
+		res.Path, time.Since(t0).Round(time.Millisecond), res.Residual)
+	if res.NativeErr != nil {
+		fmt.Printf("  native rung failed with: %v\n", res.NativeErr)
+	}
+	return nil
+}
+
+// classify names the structured error category SolveCtx returned.
+func classify(err error) string {
+	var (
+		be *native.BreakdownError
+		ce *native.CancelledError
+		pe *native.TaskPanicError
+		ie *faultinject.InjectedError
+	)
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &be):
+		return "breakdown"
+	case errors.As(err, &ce):
+		return "cancelled"
+	case errors.As(err, &pe):
+		return "task-panic"
+	case errors.As(err, &ie):
+		return "task-error"
+	default:
+		return "error"
+	}
 }
 
 // parseCounts parses the -workers list, requiring powers of two (the

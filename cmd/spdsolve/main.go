@@ -4,22 +4,33 @@
 // to the solvers' 1-D layout, and parallel forward/backward substitution,
 // all on the simulated distributed-memory machine.
 //
+// With -native the same prepared problem instead runs through the
+// hardened shared-memory path (harness.SolveRobust): native parallel
+// solve with breakdown detection, falling back to sequential solve plus
+// iterative refinement, reporting which rung produced the answer.
+// -timeout bounds the whole solve either way.
+//
 // Usage:
 //
 //	spdsolve -problem GRID2D-127 -p 64 -nrhs 4
 //	spdsolve -grid2d 63x63 -p 16 -b 4 -rowpriority
 //	spdsolve -cube 12 -p 8 -nrhs 30
+//	spdsolve -grid2d 63x63 -native -p 8 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"sptrsv/internal/chol"
 	"sptrsv/internal/harness"
 	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
 	"sptrsv/internal/order"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/symbolic"
@@ -40,6 +51,8 @@ func main() {
 		nrhs        = flag.Int("nrhs", 1, "number of right-hand sides")
 		rowPriority = flag.Bool("rowpriority", false, "use the row-priority pipelined variant (Fig. 3b)")
 		exact       = flag.Bool("exact", false, "disable supernode amalgamation")
+		nativeRun   = flag.Bool("native", false, "solve with the hardened native shared-memory path (workers = -p) instead of the simulator")
+		timeout     = flag.Duration("timeout", 0, "overall solve deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,19 @@ func main() {
 	fmt.Printf("factorization opcount = %.2f Mflop, FBsolve opcount/RHS = %.3f Mflop\n\n",
 		float64(pr.Sym.FactorFlops)/1e6, float64(pr.Sym.SolveFlopsPerRHS)/1e6)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *nativeRun {
+		if err := runHardenedNative(ctx, pr, *p, *nrhs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := harness.DefaultConfig(*p)
 	cfg.B = *b
 	cfg.BFact = *bfact
@@ -86,8 +112,43 @@ func main() {
 	fmt.Printf("  redistribution/solve ratio: %.2f\n", res.Redist.Time/res.Solve.Time)
 	fmt.Printf("  relative residual       : %.3g\n", res.Residual)
 	if res.Residual > 1e-8 {
-		log.Fatal("residual too large — solve failed")
+		// The simulated solve missed tolerance. Before declaring failure,
+		// climb the degradation ladder on real hardware: native parallel
+		// solve, then sequential solve + iterative refinement.
+		fmt.Printf("  residual too large — attempting hardened native recovery\n")
+		if err := runHardenedNative(ctx, pr, *p, *nrhs); err != nil {
+			log.Fatalf("solve failed: simulated residual %.3g and %v", res.Residual, err)
+		}
 	}
+}
+
+// runHardenedNative factorizes sequentially and solves through
+// harness.SolveRobust, reporting which rung of the degradation ladder
+// produced the answer.
+func runHardenedNative(ctx context.Context, pr *harness.Prepared, workers, nrhs int) error {
+	t0 := time.Now()
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		return err
+	}
+	factorTime := time.Since(t0)
+	b := mesh.RandomRHS(pr.Sym.N, nrhs, 1)
+	t0 = time.Now()
+	res, err := harness.SolveRobust(ctx, pr, f, b, native.Options{Workers: workers}, 1e-10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hardened native path (workers = %d, NRHS = %d)\n", workers, nrhs)
+	fmt.Printf("  sequential factorization: %12s\n", factorTime.Round(time.Microsecond))
+	fmt.Printf("  solve                   : %12s   via %q\n", time.Since(t0).Round(time.Microsecond), res.Path)
+	if res.NativeErr != nil {
+		fmt.Printf("  native rung failed      : %v\n", res.NativeErr)
+	}
+	if res.Refine != nil {
+		fmt.Printf("  refinement              : %d iters, %s\n", res.Refine.Iters, res.Refine.Reason)
+	}
+	fmt.Printf("  relative residual       : %.3g\n", res.Residual)
+	return nil
 }
 
 // prepareFromFile loads a matrix from disk and prepares it with

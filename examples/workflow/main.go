@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seqSolve := func(b *sparse.Block) *sparse.Block { f.Solve(b); return b }
+	seqSolve := func(b *sparse.Block) *sparse.Block { _ = f.Solve(b); return b }
 	kappa := condest.Estimate(ap, seqSolve, 6)
 	fmt.Printf("\nHager condition estimate: κ₁(A) ≈ %.3g (log det A = %.4f)\n",
 		kappa, f.LogDet())

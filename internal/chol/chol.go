@@ -125,11 +125,13 @@ func (f *Factor) LogDet() float64 {
 // SolveForward solves L·Y = B in place (B row-major N×M), traversing the
 // supernodal tree bottom-up: at each supernode the t×t triangular top is
 // solved, then the rectangular bottom updates the right-hand-side rows of
-// the ancestor supernodes.
-func (f *Factor) SolveForward(b *sparse.Block) {
+// the ancestor supernodes. It returns an error (instead of panicking or
+// producing silent garbage) on a dimension mismatch or a zero/non-finite
+// pivot (*BreakdownError).
+func (f *Factor) SolveForward(b *sparse.Block) error {
 	sym := f.Sym
 	if b.N != sym.N {
-		panic("chol: SolveForward dimension mismatch")
+		return fmt.Errorf("chol: SolveForward dimension mismatch: RHS rows %d != matrix size %d", b.N, sym.N)
 	}
 	m := b.M
 	for s := 0; s < sym.NSuper; s++ {
@@ -138,6 +140,9 @@ func (f *Factor) SolveForward(b *sparse.Block) {
 		t := sym.Width(s)
 		j0 := sym.Super[s]
 		panel := f.Panels[s]
+		if err := f.checkPivots(s); err != nil {
+			return err
+		}
 		top := b.Data[j0*m : (j0+t)*m]
 		dense.SolveLowerRM(panel, ns, t, top, m)
 		// b[rows[k]] -= sum_j panel[j*ns+k] * top[j] for k = t..ns-1
@@ -156,16 +161,18 @@ func (f *Factor) SolveForward(b *sparse.Block) {
 			}
 		}
 	}
+	return nil
 }
 
 // SolveBackward solves Lᵀ·X = Y in place, traversing the tree top-down: at
 // each supernode the top rows gather contributions from ancestor solution
 // rows through the rectangular block, then the triangular top is solved
-// with Lᵀ.
-func (f *Factor) SolveBackward(b *sparse.Block) {
+// with Lᵀ. It returns an error on a dimension mismatch or a zero/non-finite
+// pivot (*BreakdownError).
+func (f *Factor) SolveBackward(b *sparse.Block) error {
 	sym := f.Sym
 	if b.N != sym.N {
-		panic("chol: SolveBackward dimension mismatch")
+		return fmt.Errorf("chol: SolveBackward dimension mismatch: RHS rows %d != matrix size %d", b.N, sym.N)
 	}
 	m := b.M
 	for s := sym.NSuper - 1; s >= 0; s-- {
@@ -175,6 +182,9 @@ func (f *Factor) SolveBackward(b *sparse.Block) {
 		j0 := sym.Super[s]
 		top := b.Data[j0*m : (j0+t)*m]
 		panel := f.Panels[s]
+		if err := f.checkPivots(s); err != nil {
+			return err
+		}
 		// top[j] -= sum_{k>=t} panel[j*ns+k] * b[rows[k]]
 		for j := 0; j < t; j++ {
 			cj := panel[j*ns:]
@@ -192,13 +202,22 @@ func (f *Factor) SolveBackward(b *sparse.Block) {
 		}
 		dense.SolveLowerTransRM(panel, ns, t, top, m)
 	}
+	return nil
 }
 
 // Solve performs the complete forward+backward substitution in place:
 // on return B holds X with A·X = B_in (for the postordered matrix).
-func (f *Factor) Solve(b *sparse.Block) {
-	f.SolveForward(b)
-	f.SolveBackward(b)
+// Breakdown is never silent: beyond the per-supernode pivot guards, a
+// final NaN/Inf scan of the solution rejects overflow and poisoned
+// off-diagonal entries with a *BreakdownError.
+func (f *Factor) Solve(b *sparse.Block) error {
+	if err := f.SolveForward(b); err != nil {
+		return err
+	}
+	if err := f.SolveBackward(b); err != nil {
+		return err
+	}
+	return f.ScanFinite(b)
 }
 
 // ToDenseL expands L into a full row-major N×N lower-triangular matrix

@@ -1,6 +1,10 @@
 package chol
 
-import "sptrsv/internal/sparse"
+import (
+	"fmt"
+
+	"sptrsv/internal/sparse"
+)
 
 // This file provides the non-supernodal baseline the paper's multifrontal
 // organization is compared against: the factor expanded to column-
@@ -55,12 +59,20 @@ func (f *Factor) ToCSC() *CSCFactor {
 	return out
 }
 
-// SolveForward solves L·Y = B in place, column by column (BLAS-1).
-func (c *CSCFactor) SolveForward(b *sparse.Block) {
+// SolveForward solves L·Y = B in place, column by column (BLAS-1). It
+// returns an error on a dimension mismatch or a zero/non-finite diagonal
+// (*BreakdownError with Supernode = -1: the baseline has no supernodes).
+func (c *CSCFactor) SolveForward(b *sparse.Block) error {
+	if b.N != c.N {
+		return fmt.Errorf("chol: SolveForward dimension mismatch: RHS rows %d != factor size %d", b.N, c.N)
+	}
 	m := b.M
 	for j := 0; j < c.N; j++ {
 		p0, p1 := c.ColPtr[j], c.ColPtr[j+1]
 		xj := b.Row(j)
+		if piv := c.Val[p0]; BadPivot(piv) {
+			return &BreakdownError{Supernode: -1, Column: j, Pivot: piv}
+		}
 		inv := 1 / c.Val[p0]
 		for k := 0; k < m; k++ {
 			xj[k] *= inv
@@ -76,10 +88,15 @@ func (c *CSCFactor) SolveForward(b *sparse.Block) {
 			}
 		}
 	}
+	return nil
 }
 
-// SolveBackward solves Lᵀ·X = Y in place, column by column.
-func (c *CSCFactor) SolveBackward(b *sparse.Block) {
+// SolveBackward solves Lᵀ·X = Y in place, column by column. It returns an
+// error on a dimension mismatch or a zero/non-finite diagonal.
+func (c *CSCFactor) SolveBackward(b *sparse.Block) error {
+	if b.N != c.N {
+		return fmt.Errorf("chol: SolveBackward dimension mismatch: RHS rows %d != factor size %d", b.N, c.N)
+	}
 	m := b.M
 	for j := c.N - 1; j >= 0; j-- {
 		p0, p1 := c.ColPtr[j], c.ColPtr[j+1]
@@ -94,17 +111,23 @@ func (c *CSCFactor) SolveBackward(b *sparse.Block) {
 				xj[k] -= lij * src[k]
 			}
 		}
+		if piv := c.Val[p0]; BadPivot(piv) {
+			return &BreakdownError{Supernode: -1, Column: j, Pivot: piv}
+		}
 		inv := 1 / c.Val[p0]
 		for k := 0; k < m; k++ {
 			xj[k] *= inv
 		}
 	}
+	return nil
 }
 
 // Solve performs forward and backward substitution in place.
-func (c *CSCFactor) Solve(b *sparse.Block) {
-	c.SolveForward(b)
-	c.SolveBackward(b)
+func (c *CSCFactor) Solve(b *sparse.Block) error {
+	if err := c.SolveForward(b); err != nil {
+		return err
+	}
+	return c.SolveBackward(b)
 }
 
 // NNZ returns the number of stored entries (padding zeros included).

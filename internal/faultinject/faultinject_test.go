@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
+	"sptrsv/internal/order"
+	"sptrsv/internal/symbolic"
+)
+
+func setup(t *testing.T) *chol.Factor {
+	t.Helper()
+	a := mesh.Grid2D(15, 15)
+	g := mesh.Grid2DGeometry(15, 15)
+	perm := order.NestedDissectionGeom(a, g)
+	sym, _, ap := symbolic.Analyze(a.PermuteSym(perm))
+	sym = symbolic.Amalgamate(sym, 0.15, 32)
+	f, err := chol.Factorize(ap, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Injection
+	}{
+		{"panic:3", Injection{Kind: KindPanic, Phase: native.ForwardPhase, Supernode: 3}},
+		{"error:0", Injection{Kind: KindError, Phase: native.ForwardPhase, Supernode: 0}},
+		{"nan:12", Injection{Kind: KindNaN, Phase: native.ForwardPhase, Supernode: 12}},
+		{"stall:5:250ms", Injection{Kind: KindStall, Phase: native.ForwardPhase, Supernode: 5, Stall: 250 * time.Millisecond}},
+		{"panic:7@backward", Injection{Kind: KindPanic, Phase: native.BackwardPhase, Supernode: 7}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if *got != c.want {
+			t.Fatalf("%s: parsed %+v, want %+v", c.spec, *got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "panic", "panic:x", "panic:-1", "stall:3", "stall:3:xs", "stall:3:-1s", "panic:3:1s", "boom:3"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q: accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestInjectedPanicSurfacesAsError(t *testing.T) {
+	f := setup(t)
+	inj, err := Parse("panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := native.NewSolver(f, native.Options{Workers: 4, TaskHook: inj.Hook()})
+	_, _, serr := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 1))
+	var pe *native.TaskPanicError
+	if !errors.As(serr, &pe) || pe.Task != 1 {
+		t.Fatalf("got %v, want *TaskPanicError for task 1", serr)
+	}
+}
+
+func TestInjectedErrorSurfaces(t *testing.T) {
+	f := setup(t)
+	inj, err := Parse("error:2@backward")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := native.NewSolver(f, native.Options{Workers: 4, TaskHook: inj.Hook()})
+	_, _, serr := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 2))
+	var ie *InjectedError
+	if !errors.As(serr, &ie) || ie.Supernode != 2 || ie.Phase != native.BackwardPhase {
+		t.Fatalf("got %v, want *InjectedError for backward task 2", serr)
+	}
+}
+
+func TestInjectedStallHonorsDeadline(t *testing.T) {
+	f := setup(t)
+	inj, err := Parse("stall:0:30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := native.NewSolver(f, native.Options{Workers: 4, TaskHook: inj.Hook()})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, serr := sv.SolveCtx(ctx, mesh.RandomRHS(f.Sym.N, 1, 3))
+	var ce *native.CancelledError
+	if !errors.As(serr, &ce) {
+		t.Fatalf("got %v, want *CancelledError", serr)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("stalled solve took %s to cancel", time.Since(start))
+	}
+}
+
+func TestInjectedStallExpiresHarmlessly(t *testing.T) {
+	// A stall shorter than the deadline only delays the solve.
+	f := setup(t)
+	inj, err := Parse("stall:0:10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := native.NewSolver(f, native.Options{Workers: 4, TaskHook: inj.Hook()})
+	x, _, serr := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 4))
+	if serr != nil || x == nil {
+		t.Fatalf("short stall failed the solve: %v", serr)
+	}
+}
+
+func TestPoisonPanelBreakdownAndRestore(t *testing.T) {
+	f := setup(t)
+	target := f.Sym.NSuper / 2
+	inj := &Injection{Kind: KindNaN, Supernode: target}
+	restore, err := inj.Poison(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mesh.RandomRHS(f.Sym.N, 2, 5)
+	_, _, serr := native.NewSolver(f, native.Options{Workers: 4}).SolveCtx(context.Background(), b)
+	var be *native.BreakdownError
+	if !errors.As(serr, &be) || be.Supernode != target || !math.IsNaN(be.Pivot) {
+		t.Fatalf("got %v, want *BreakdownError naming supernode %d", serr, target)
+	}
+	restore()
+	x, _, serr := native.NewSolver(f, native.Options{Workers: 4}).SolveCtx(context.Background(), b)
+	if serr != nil || x == nil {
+		t.Fatalf("restored factor still fails: %v", serr)
+	}
+
+	if _, err := (&Injection{Kind: KindNaN, Supernode: f.Sym.NSuper + 5}).Poison(f); err == nil {
+		t.Fatal("out-of-range poison target accepted")
+	}
+}

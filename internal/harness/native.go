@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -51,9 +52,12 @@ func RunNative(pr *Prepared, workers, nrhs int, seed int64) (NativeResult, error
 	res.FactorTime = time.Since(t0)
 	sv := native.NewSolver(f, native.Options{Workers: workers})
 	b := mesh.RandomRHS(pr.Sym.N, nrhs, seed)
-	x, st := sv.Solve(b)
+	x, st, err := sv.SolveCtx(context.Background(), b)
 	res.Workers = sv.Workers()
 	res.Solve = st
+	if err != nil {
+		return res, fmt.Errorf("harness: %s: native solve: %w", pr.Name, err)
+	}
 	r := sparse.NewBlock(pr.Sym.N, nrhs)
 	pr.A.MulBlock(x, r)
 	r.AddScaled(-1, b)
@@ -95,30 +99,41 @@ func NativeVsSim(pr *Prepared, counts []int, nrhs, reps int, model machine.CostM
 		_, st := sv.Solve(machine.New(p, model), b)
 		return st.Time
 	}
-	nativeTime := func(w int) (time.Duration, *sparse.Block) {
+	nativeTime := func(w int) (time.Duration, *sparse.Block, error) {
 		sv := native.NewSolver(f, native.Options{Workers: w})
 		best := time.Duration(0)
 		var x *sparse.Block
 		for r := 0; r < reps; r++ {
-			xr, st := sv.Solve(b)
+			xr, st, err := sv.SolveCtx(context.Background(), b)
+			if err != nil {
+				return 0, nil, fmt.Errorf("harness: %s: native solve (workers=%d): %w", pr.Name, w, err)
+			}
 			if t := st.Total(); best == 0 || t < best {
 				best = t
 			}
 			x = xr
 		}
-		return best, x
+		return best, x, nil
 	}
 
 	simBase := simTime(1)
-	nativeTime(1) // warm-up: page in the factor and buffers before timing
-	natBase, _ := nativeTime(1)
+	if _, _, err := nativeTime(1); err != nil { // warm-up: page in the factor and buffers before timing
+		return nil, 0, err
+	}
+	natBase, _, err := nativeTime(1)
+	if err != nil {
+		return nil, 0, err
+	}
 	rows := make([]SpeedupRow, 0, len(counts))
 	var lastX *sparse.Block
 	for _, p := range counts {
 		row := SpeedupRow{P: p}
 		row.PredictedTime = simTime(p)
 		row.PredictedSpeedup = simBase / row.PredictedTime
-		row.MeasuredTime, lastX = nativeTime(p)
+		row.MeasuredTime, lastX, err = nativeTime(p)
+		if err != nil {
+			return nil, 0, err
+		}
 		row.MeasuredSpeedup = natBase.Seconds() / row.MeasuredTime.Seconds()
 		rows = append(rows, row)
 	}

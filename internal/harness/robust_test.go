@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
+	"sptrsv/internal/refine"
+)
+
+func factorFor(t testing.TB, pr *Prepared) *chol.Factor {
+	t.Helper()
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// panicHook sabotages one forward task — the factor itself stays healthy,
+// so the sequential fallback rung must succeed.
+func panicHook(target int) native.TaskHook {
+	return func(_ context.Context, p native.TaskPhase, s int) error {
+		if p == native.ForwardPhase && s == target {
+			panic("robust-test: injected panic")
+		}
+		return nil
+	}
+}
+
+func TestSolveRobustNativePath(t *testing.T) {
+	pr := prepSmall(t)
+	f := factorFor(t, pr)
+	b := mesh.RandomRHS(pr.Sym.N, 3, 1)
+	res, err := SolveRobust(context.Background(), pr, f, b, native.Options{Workers: 8}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != PathNative || res.NativeErr != nil || res.Refine != nil {
+		t.Fatalf("healthy solve took path %q (nativeErr=%v)", res.Path, res.NativeErr)
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+}
+
+// TestSolveRobustFallbackMeshSuite is the acceptance check: an injected
+// task panic on every suite problem must degrade to the sequential rung
+// and still produce a relative residual below 1e-10.
+func TestSolveRobustFallbackMeshSuite(t *testing.T) {
+	problems := []*Prepared{prepSmall(t)}
+	if !testing.Short() {
+		problems = SuitePrepared()
+	}
+	for _, pr := range problems {
+		f := factorFor(t, pr)
+		b := mesh.RandomRHS(pr.Sym.N, 2, 1)
+		opts := native.Options{Workers: 8, TaskHook: panicHook(pr.Sym.NSuper / 2)}
+		res, err := SolveRobust(context.Background(), pr, f, b, opts, 1e-10)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Name, err)
+		}
+		if res.Path != PathSequentialRefine {
+			t.Fatalf("%s: path %q, want fallback", pr.Name, res.Path)
+		}
+		var pe *native.TaskPanicError
+		if !errors.As(res.NativeErr, &pe) {
+			t.Fatalf("%s: NativeErr = %v, want *TaskPanicError", pr.Name, res.NativeErr)
+		}
+		if res.Refine == nil || res.Refine.Reason != refine.ReasonConverged {
+			t.Fatalf("%s: refine result %+v", pr.Name, res.Refine)
+		}
+		if !(res.Residual < 1e-10) {
+			t.Fatalf("%s: fallback residual %g", pr.Name, res.Residual)
+		}
+	}
+}
+
+func TestSolveRobustCancelledNoFallback(t *testing.T) {
+	pr := prepSmall(t)
+	f := factorFor(t, pr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveRobust(ctx, pr, f, mesh.RandomRHS(pr.Sym.N, 1, 2), native.Options{Workers: 4}, 1e-10)
+	var ce *native.CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("cancelled ladder returned %v, want *CancelledError", err)
+	}
+	if res.Refine != nil {
+		t.Fatal("cancelled ladder must not run the fallback rung")
+	}
+}
+
+func TestSolveRobustLadderExhausted(t *testing.T) {
+	// Poison the factor itself: both rungs fail and the error names both.
+	pr := prepSmall(t)
+	f := factorFor(t, pr)
+	target := pr.Sym.NSuper / 2
+	for i := range f.Panels[target] {
+		f.Panels[target][i] = math.NaN()
+	}
+	res, err := SolveRobust(context.Background(), pr, f, mesh.RandomRHS(pr.Sym.N, 1, 3), native.Options{Workers: 4}, 1e-10)
+	if err == nil {
+		t.Fatal("poisoned factor must exhaust the ladder")
+	}
+	var be *native.BreakdownError
+	if !errors.As(res.NativeErr, &be) || be.Supernode != target {
+		t.Fatalf("NativeErr = %v, want *BreakdownError for supernode %d", res.NativeErr, target)
+	}
+	if res.Path != PathSequentialRefine || res.Refine == nil || res.Refine.Converged {
+		t.Fatalf("result %+v", res)
+	}
+}

@@ -1,0 +1,222 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/sparse"
+)
+
+// The tests in this file pin the hardened scheduler's failure semantics:
+// a panicking task returns an error instead of deadlocking the pool, a
+// cancelled context aborts promptly, breakdown is structured and named,
+// and the success path through SolveCtx stays bitwise identical to Solve.
+// They are part of the -race suite (`make race`).
+
+func TestPanickingTaskReturnsError(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	for _, phase := range []TaskPhase{ForwardPhase, BackwardPhase} {
+		target := f.Sym.NSuper / 2
+		sv := NewSolver(f, Options{Workers: 8, TaskHook: func(_ context.Context, p TaskPhase, s int) error {
+			if p == phase && s == target {
+				panic("deliberate test panic")
+			}
+			return nil
+		}})
+		b := mesh.RandomRHS(f.Sym.N, 2, 1)
+		x, _, err := sv.SolveCtx(context.Background(), b)
+		if err == nil || x != nil {
+			t.Fatalf("%s: panicking task did not surface an error", phase)
+		}
+		var pe *TaskPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error %v is not a *TaskPanicError", phase, err)
+		}
+		if pe.Phase != phase || pe.Task != target {
+			t.Fatalf("%s: panic attributed to %s task %d, want task %d", phase, pe.Phase, pe.Task, target)
+		}
+	}
+}
+
+func TestTaskErrorPropagatesFirst(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(15, 15))
+	sentinel := errors.New("injected task failure")
+	sv := NewSolver(f, Options{Workers: 4, TaskHook: func(_ context.Context, p TaskPhase, s int) error {
+		if p == BackwardPhase && s == 0 {
+			return sentinel
+		}
+		return nil
+	}})
+	_, _, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 2))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("injected error not propagated: got %v", err)
+	}
+}
+
+func TestCancelledContextAbortsPromptly(t *testing.T) {
+	// A large mesh with a stalling task: the deadline must surface as a
+	// CancelledError long before the stall would naturally end.
+	_, f := setupAmalgamated(t, grid2DProblem(41, 41))
+	sv := NewSolver(f, Options{Workers: 4, TaskHook: func(ctx context.Context, p TaskPhase, s int) error {
+		if p == ForwardPhase && s == f.Sym.NSuper-1 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return nil
+			}
+		}
+		return nil
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := sv.SolveCtx(ctx, mesh.RandomRHS(f.Sym.N, 1, 3))
+	elapsed := time.Since(start)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("cancelled solve returned %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancellation cause not visible through Unwrap: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s — the pool did not unwind promptly", elapsed)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(9, 9))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := NewSolver(f, Options{Workers: 4}).SolveCtx(ctx, mesh.RandomRHS(f.Sym.N, 1, 4))
+	var ce *CancelledError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context returned %v", err)
+	}
+}
+
+func TestNaNPanelYieldsBreakdownError(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(13, 13))
+	target := f.Sym.NSuper / 3
+	panel := f.Panels[target]
+	saved := append([]float64(nil), panel...)
+	for i := range panel {
+		panel[i] = math.NaN()
+	}
+	defer func() { copy(panel, saved) }()
+	_, _, err := NewSolver(f, Options{Workers: 8}).SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 2, 5))
+	var be *BreakdownError
+	if !errors.As(err, &be) {
+		t.Fatalf("NaN panel returned %v, want *BreakdownError", err)
+	}
+	if be.Supernode != target {
+		t.Fatalf("breakdown names supernode %d, want %d", be.Supernode, target)
+	}
+	if !math.IsNaN(be.Pivot) {
+		t.Fatalf("breakdown value %v, want NaN", be.Pivot)
+	}
+}
+
+func TestZeroPivotYieldsBreakdownError(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(11, 11))
+	target := f.Sym.NSuper - 1 // root supernode: reached only after the rest succeed
+	ns := f.Sym.Height(target)
+	old := f.Panels[target][0]
+	f.Panels[target][0] = 0 // first diagonal entry of the panel
+	defer func() { f.Panels[target][0] = old }()
+	_, _, err := NewSolver(f, Options{Workers: 4}).SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 6))
+	var be *BreakdownError
+	if !errors.As(err, &be) {
+		t.Fatalf("zero pivot returned %v, want *BreakdownError", err)
+	}
+	if be.Supernode != target || be.Column != f.Sym.Super[target] || be.Pivot != 0 {
+		t.Fatalf("breakdown = %+v (ns=%d), want supernode %d column %d pivot 0", be, ns, target, f.Sym.Super[target])
+	}
+}
+
+func TestSolveCtxBitwiseMatchesSolve(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
+	b := mesh.RandomRHS(f.Sym.N, 4, 7)
+	want, _ := NewSolver(f, Options{Workers: 1}).Solve(b)
+	for _, w := range []int{1, 2, 3, 8} {
+		x, st, err := NewSolver(f, Options{Workers: w}).SolveCtx(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tasks != f.Sym.NSuper {
+			t.Fatalf("workers=%d: stats %+v", w, st)
+		}
+		for i, v := range x.Data {
+			if v != want.Data[i] {
+				t.Fatalf("workers=%d: entry %d differs bitwise through SolveCtx", w, i)
+			}
+		}
+	}
+}
+
+func TestSolveCtxRejectsWrongRHSSize(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(5, 5))
+	_, _, err := NewSolver(f, Options{}).SolveCtx(context.Background(), sparse.NewBlock(f.Sym.N+1, 1))
+	if err == nil {
+		t.Fatal("mismatched RHS did not return an error")
+	}
+}
+
+func TestHookContextCancelledOnSiblingFailure(t *testing.T) {
+	// When one task fails, a sibling task blocked in its hook must be
+	// released through the sweep context — otherwise the pool would hang
+	// waiting for the stalled worker.
+	_, f := setupAmalgamated(t, grid2DProblem(31, 31))
+	if f.Sym.NSuper < 4 {
+		t.Skip("not enough supernodes")
+	}
+	leaves := 0
+	for s := 0; s < f.Sym.NSuper; s++ {
+		if len(f.Sym.SChildren[s]) == 0 {
+			leaves++
+		}
+	}
+	if leaves < 2 {
+		t.Skip("need at least two leaves")
+	}
+	released := make(chan struct{})
+	var first int32
+	sv := NewSolver(f, Options{Workers: 4, TaskHook: func(ctx context.Context, p TaskPhase, s int) error {
+		if p != ForwardPhase {
+			return nil
+		}
+		switch atomic.AddInt32(&first, 1) {
+		case 1:
+			// First task: stall until the sweep context is cancelled.
+			select {
+			case <-ctx.Done():
+				close(released)
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("stalled hook was never released")
+			}
+		case 2:
+			return errors.New("sibling failure")
+		}
+		return nil
+	}})
+	start := time.Now()
+	_, _, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 8))
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	select {
+	case <-released:
+	default:
+		t.Fatal("stalled hook was not released by the sweep cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("unwind took %s", time.Since(start))
+	}
+}

@@ -28,6 +28,7 @@
 package native
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -47,6 +48,11 @@ type Options struct {
 	// bitwise-reproducibility guarantee; 0 means the experiments' default
 	// of 8.
 	B int
+	// TaskHook, when non-nil, runs at the start of every supernode task;
+	// see TaskHook for the contract. Fault-injection tests and
+	// cmd/nativebench -inject use it to force panics, errors, and stalls;
+	// it must be nil in production solves.
+	TaskHook TaskHook
 }
 
 // DefaultOptions returns the defaults: one worker per available core,
@@ -61,6 +67,7 @@ type Solver struct {
 	F       *chol.Factor
 	workers int
 	b       int
+	hook    TaskHook
 
 	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
 	// below-triangle row of supernode c (the child→parent scatter map the
@@ -110,6 +117,7 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 		F:         f,
 		workers:   w,
 		b:         b,
+		hook:      opts.TaskHook,
 		parentPos: make([][]int, sym.NSuper),
 	}
 	for c := 0; c < sym.NSuper; c++ {
@@ -156,17 +164,46 @@ type solveState struct {
 // Solve performs the complete forward elimination and back substitution
 // for the (postordered) right-hand-side block b, returning the solution X
 // with A·X = B and the measured wall-clock statistics. b is not modified.
+//
+// Solve is the legacy never-fails entry point: it panics on any error
+// (mismatched RHS, numerical breakdown, injected fault). Servers and
+// anything with a deadline should call SolveCtx instead.
 func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
+	x, stats, err := sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		panic(err)
+	}
+	return x, stats
+}
+
+// SolveCtx is the fault-tolerant solve: forward elimination and back
+// substitution under ctx, returning the solution, the wall-clock
+// statistics gathered so far, and an error instead of hanging or lying.
+//
+// Error contract:
+//   - *BreakdownError: a zero/non-finite pivot in either sweep, or a
+//     non-finite solution entry found by the final scan.
+//   - *CancelledError: ctx was cancelled or its deadline expired before
+//     every task completed; errors.Is sees the context cause through it.
+//   - *TaskPanicError: a supernode task (or hook) panicked; the scheduler
+//     recovered it and unwound the pool instead of deadlocking.
+//   - plain error: dimension mismatch between b and the factor.
+//
+// On the success path SolveCtx performs exactly the same floating-point
+// operations in the same order as Solve, so the bitwise-reproducibility
+// guarantee versus the simulator's p=1 execution is unchanged — the
+// guards only read values the sweeps were already touching.
+func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block, Stats, error) {
 	sym := sv.F.Sym
+	stats := Stats{Workers: sv.workers, Tasks: sym.NSuper}
 	if b.N != sym.N {
-		panic(fmt.Sprintf("native: RHS size %d != matrix size %d", b.N, sym.N))
+		return nil, stats, fmt.Errorf("native: RHS size %d != matrix size %d", b.N, sym.N)
 	}
 	st := &solveState{m: b.M, bufs: make([][]float64, sym.NSuper)}
 	for s := 0; s < sym.NSuper; s++ {
 		st.bufs[s] = make([]float64, sym.Height(s)*b.M)
 	}
 	x := sparse.NewBlock(sym.N, b.M)
-	stats := Stats{Workers: sv.workers, Tasks: sym.NSuper}
 
 	// Forward elimination: leaves → root. Task s depends on all children.
 	deps := make([]int32, sym.NSuper)
@@ -174,13 +211,23 @@ func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
 		deps[s] = int32(len(sym.SChildren[s]))
 	}
 	t0 := time.Now()
-	sv.runDAG(deps, sv.leaves, func(s int) []int {
+	err := sv.runDAG(ctx, ForwardPhase, deps, sv.leaves, func(s int) []int {
 		if p := sym.SParent[s]; p >= 0 {
 			return []int{p}
 		}
 		return nil
-	}, func(s int) { sv.forwardSupernode(s, st, b) })
+	}, func(tctx context.Context, s int) error {
+		if sv.hook != nil {
+			if herr := sv.hook(tctx, ForwardPhase, s); herr != nil {
+				return herr
+			}
+		}
+		return sv.forwardSupernode(s, st, b)
+	})
 	stats.Forward = time.Since(t0)
+	if err != nil {
+		return nil, stats, normalizeCancel(err)
+	}
 
 	// Back substitution: root → leaves. Task s depends on its parent.
 	for s := 0; s < sym.NSuper; s++ {
@@ -191,19 +238,36 @@ func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
 		}
 	}
 	t0 = time.Now()
-	sv.runDAG(deps, sv.roots, func(s int) []int {
+	err = sv.runDAG(ctx, BackwardPhase, deps, sv.roots, func(s int) []int {
 		return sym.SChildren[s]
-	}, func(s int) { sv.backwardSupernode(s, st, x) })
+	}, func(tctx context.Context, s int) error {
+		if sv.hook != nil {
+			if herr := sv.hook(tctx, BackwardPhase, s); herr != nil {
+				return herr
+			}
+		}
+		return sv.backwardSupernode(s, st, x)
+	})
 	stats.Backward = time.Since(t0)
-	return x, stats
+	if err != nil {
+		return nil, stats, normalizeCancel(err)
+	}
+	// Final cheap scan: breakdown that slips past the pivot guards
+	// (overflow, a poisoned off-diagonal panel entry) must never be
+	// returned with a success status.
+	if err := sv.F.ScanFinite(x); err != nil {
+		return nil, stats, err
+	}
+	return x, stats, nil
 }
 
 // forwardSupernode is one forward-elimination task: gather finished
 // children, add the right-hand side, and run the dense trapezoid sweep.
 // The operation order mirrors the simulator's p=1 execution exactly —
 // children ascending, then RHS, then columns ascending with reciprocal
-// scaling — so the result is bitwise reproducible.
-func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) {
+// scaling — so the result is bitwise reproducible. A zero or non-finite
+// pivot aborts the task (and with it the sweep) with a *BreakdownError.
+func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) error {
 	sym := sv.F.Sym
 	ns := sym.Height(s)
 	t := sym.Width(s)
@@ -232,6 +296,9 @@ func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) {
 	for j := 0; j < t; j++ {
 		col := panel[j*ns:]
 		xj := v[j*m : (j+1)*m]
+		if chol.BadPivot(col[j]) {
+			return &BreakdownError{Supernode: s, Column: j0 + j, Pivot: col[j]}
+		}
 		inv := 1 / col[j]
 		for c := 0; c < m; c++ {
 			xj[c] *= inv
@@ -244,14 +311,16 @@ func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) {
 			}
 		}
 	}
+	return nil
 }
 
 // backwardSupernode is one back-substitution task: pull the ancestor
 // solution values for the below-triangle rows from the finished parent,
 // then run the blocked transposed sweep. Blocking (width, descending
 // block order, per-block partial-sum accumulation with the simulator's
-// zero skip) replicates the p=1 pipeline's floating-point grouping.
-func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) {
+// zero skip) replicates the p=1 pipeline's floating-point grouping. A
+// zero or non-finite pivot aborts with a *BreakdownError.
+func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) error {
 	sym := sv.F.Sym
 	ns := sym.Height(s)
 	t := sym.Width(s)
@@ -303,6 +372,9 @@ func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) {
 					xj[c] -= lij * xi[c]
 				}
 			}
+			if chol.BadPivot(col[r0+j]) {
+				return &BreakdownError{Supernode: s, Column: j0 + r0 + j, Pivot: col[r0+j]}
+			}
 			inv := 1 / col[r0+j]
 			for c := 0; c < m; c++ {
 				xj[c] *= inv
@@ -312,4 +384,5 @@ func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) {
 	for j := 0; j < t; j++ {
 		copy(x.Row(j0+j), v[j*m:(j+1)*m])
 	}
+	return nil
 }

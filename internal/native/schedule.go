@@ -1,6 +1,7 @@
 package native
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -13,10 +14,21 @@ import (
 // atomic decrement plus the channel hand-off give the happens-before edge
 // from every predecessor's writes to the successor's reads, which is what
 // makes the per-supernode buffers race-free under any interleaving.
-func (sv *Solver) runDAG(deps []int32, sources []int, succs func(s int) []int, task func(s int)) {
+//
+// Failure semantics: the sweep either completes every task and returns
+// nil, or it returns the first error promptly — it never hangs. A task
+// panic is recovered into a *TaskPanicError (the historical failure mode
+// was a permanent deadlock: the panicking worker skipped its completion
+// count and the final wait blocked forever). The first task error cancels
+// the sweep context, which stops idle workers, prevents queued tasks from
+// starting, and unblocks any hook that is waiting on ctx.Done(). Caller
+// cancellation is reported as *CancelledError wrapping the context cause.
+// Tasks already executing are allowed to finish (a goroutine cannot be
+// killed); their writes stay confined to this solve's private buffers.
+func (sv *Solver) runDAG(ctx context.Context, phase TaskPhase, deps []int32, sources []int, succs func(s int) []int, task func(ctx context.Context, s int) error) error {
 	n := len(deps)
 	if n == 0 {
-		return
+		return nil
 	}
 	workers := sv.workers
 	if workers > n {
@@ -28,25 +40,71 @@ func (sv *Solver) runDAG(deps []int32, sources []int, succs func(s int) []int, t
 	for _, s := range sources {
 		ready <- s
 	}
-	var remaining sync.WaitGroup
-	remaining.Add(n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		failOnce sync.Once
+		firstErr error
+		done     int32
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	allDone := make(chan struct{})
+	runOne := func(s int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &TaskPanicError{Phase: phase, Task: s, Value: r}
+			}
+		}()
+		return task(ctx, s)
+	}
 	var pool sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		pool.Add(1)
 		go func() {
 			defer pool.Done()
-			for s := range ready {
-				task(s)
-				for _, t := range succs(s) {
-					if atomic.AddInt32(&deps[t], -1) == 0 {
-						ready <- t
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case s := <-ready:
+					if ctx.Err() != nil {
+						return
+					}
+					if err := runOne(s); err != nil {
+						fail(err)
+						return
+					}
+					for _, t := range succs(s) {
+						if atomic.AddInt32(&deps[t], -1) == 0 {
+							ready <- t
+						}
+					}
+					if atomic.AddInt32(&done, 1) == int32(n) {
+						close(allDone)
 					}
 				}
-				remaining.Done()
 			}
 		}()
 	}
-	remaining.Wait()
-	close(ready)
+	select {
+	case <-allDone:
+	case <-ctx.Done():
+	}
+	cancel()
 	pool.Wait()
+	// pool.Wait() sequences every worker's writes (including firstErr via
+	// fail's Once) before these reads.
+	if firstErr != nil {
+		return firstErr
+	}
+	if atomic.LoadInt32(&done) != int32(n) {
+		return &CancelledError{Cause: context.Cause(ctx)}
+	}
+	return nil
 }

@@ -17,16 +17,38 @@ import (
 // satisfy it via small adapters.
 type Solver func(b *sparse.Block) *sparse.Block
 
+// Reason explains why the refinement loop stopped — the input harness
+// fallback decisions and operator logs need to tell a healthy stop
+// (converged) from a numerical failure (non-finite residual) or a
+// factor-quality ceiling (stagnated).
+type Reason string
+
+const (
+	// ReasonConverged: the relative residual dropped below tol.
+	ReasonConverged Reason = "converged"
+	// ReasonStagnated: an iteration failed to at least halve the
+	// residual; more solves would oscillate, not help.
+	ReasonStagnated Reason = "stagnated"
+	// ReasonNonFinite: the residual became NaN or ±Inf — the solver
+	// produced a poisoned correction (breakdown downstream of the
+	// factorization); refinement cannot recover.
+	ReasonNonFinite Reason = "non-finite residual"
+	// ReasonMaxIter: the iteration budget ran out while still improving.
+	ReasonMaxIter Reason = "max iterations"
+)
+
 // Result reports the refinement history.
 type Result struct {
 	X         *sparse.Block
 	Residuals []float64 // ‖b−A·x‖∞/‖b‖∞ after each iteration (index 0: initial solve)
 	Converged bool
-	Iters     int // refinement iterations performed (excluding the initial solve)
+	Iters     int    // refinement iterations performed (excluding the initial solve)
+	Reason    Reason // why the loop stopped
 }
 
 // Solve runs an initial solve followed by up to maxIter refinement steps,
 // stopping when the relative residual drops below tol or stops improving.
+// Result.Reason records why the loop stopped.
 func Solve(a *sparse.SymCSC, solve Solver, b *sparse.Block, maxIter int, tol float64) Result {
 	x := solve(b.Clone())
 	res := Result{X: x}
@@ -42,10 +64,18 @@ func Solve(a *sparse.SymCSC, solve Solver, b *sparse.Block, maxIter int, tol flo
 		}
 		return r.NormInf() / normB
 	}
+	nonFinite := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 	prev := residual()
 	res.Residuals = append(res.Residuals, prev)
 	if prev < tol {
 		res.Converged = true
+		res.Reason = ReasonConverged
+		return res
+	}
+	if nonFinite(prev) {
+		// The initial solve is already poisoned; iterating on a NaN
+		// residual would only feed NaN corrections back in.
+		res.Reason = ReasonNonFinite
 		return res
 	}
 	for it := 0; it < maxIter; it++ {
@@ -56,13 +86,20 @@ func Solve(a *sparse.SymCSC, solve Solver, b *sparse.Block, maxIter int, tol flo
 		res.Iters = it + 1
 		if cur < tol {
 			res.Converged = true
+			res.Reason = ReasonConverged
 			return res
 		}
-		if !(cur < prev*0.5) || math.IsNaN(cur) {
+		if nonFinite(cur) {
+			res.Reason = ReasonNonFinite
+			return res
+		}
+		if !(cur < prev*0.5) {
 			// stagnation: stop rather than oscillate
+			res.Reason = ReasonStagnated
 			return res
 		}
 		prev = cur
 	}
+	res.Reason = ReasonMaxIter
 	return res
 }

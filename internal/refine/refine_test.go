@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"math"
 	"testing"
 
 	"sptrsv/internal/chol"
@@ -13,10 +14,12 @@ import (
 	"sptrsv/internal/symbolic"
 )
 
-// sequentialSolver adapts the sequential supernodal solver.
+// sequentialSolver adapts the sequential supernodal solver. A breakdown
+// error leaves b partially solved; the refinement loop then observes a
+// stagnant or non-finite residual and stops with the matching Reason.
 func sequentialSolver(f *chol.Factor) Solver {
 	return func(b *sparse.Block) *sparse.Block {
-		f.Solve(b)
+		_ = f.Solve(b)
 		return b
 	}
 }
@@ -41,6 +44,9 @@ func TestRefineConvergesImmediately(t *testing.T) {
 	}
 	if res.Residuals[len(res.Residuals)-1] > 1e-12 {
 		t.Fatalf("final residual %g", res.Residuals[len(res.Residuals)-1])
+	}
+	if res.Reason != ReasonConverged {
+		t.Fatalf("reason %q, want %q", res.Reason, ReasonConverged)
 	}
 }
 
@@ -84,6 +90,62 @@ func TestRefineStopsOnStagnation(t *testing.T) {
 	}
 	if res.Iters >= 50 {
 		t.Fatalf("stagnation not detected (ran %d iters)", res.Iters)
+	}
+	if res.Reason != ReasonStagnated {
+		t.Fatalf("reason %q, want %q", res.Reason, ReasonStagnated)
+	}
+}
+
+func TestRefineReasonNonFiniteInitial(t *testing.T) {
+	// A solver that poisons its output with NaN: the very first residual
+	// is non-finite and the loop must stop immediately with the reason
+	// recorded, instead of feeding NaN corrections back in.
+	a := mesh.Grid2D(6, 6)
+	poison := func(b *sparse.Block) *sparse.Block {
+		b.Data[0] = math.NaN()
+		return b
+	}
+	b := mesh.RandomRHS(a.N, 1, 9)
+	res := Solve(a, poison, b, 10, 1e-12)
+	if res.Converged {
+		t.Fatal("poisoned solver cannot converge")
+	}
+	if res.Reason != ReasonNonFinite {
+		t.Fatalf("reason %q, want %q", res.Reason, ReasonNonFinite)
+	}
+	if res.Iters != 0 {
+		t.Fatalf("ran %d iterations on a NaN residual", res.Iters)
+	}
+	if last := res.Residuals[len(res.Residuals)-1]; !math.IsNaN(last) {
+		t.Fatalf("recorded residual %g, want NaN", last)
+	}
+}
+
+func TestRefineReasonNonFiniteMidLoop(t *testing.T) {
+	// The first solve is fine; the first *refinement* solve poisons its
+	// correction — the NaN must be detected on the next residual.
+	ap, good := setupSeq(t, mesh.Grid2D(8, 8), mesh.Grid2DGeometry(8, 8))
+	calls := 0
+	flaky := func(b *sparse.Block) *sparse.Block {
+		calls++
+		if calls == 1 {
+			x := good(b)
+			x.Data[0] += 1 // spoil accuracy so refinement iterates
+			return x
+		}
+		b.Data[0] = math.Inf(1)
+		return b
+	}
+	b := mesh.RandomRHS(ap.N, 1, 10)
+	res := Solve(ap, flaky, b, 10, 1e-14)
+	if res.Converged {
+		t.Fatal("flaky solver cannot converge")
+	}
+	if res.Reason != ReasonNonFinite {
+		t.Fatalf("reason %q, want %q (residuals %v)", res.Reason, ReasonNonFinite, res.Residuals)
+	}
+	if res.Iters != 1 {
+		t.Fatalf("stopped after %d iterations, want 1", res.Iters)
 	}
 }
 

@@ -80,6 +80,12 @@ func (b *Block) MaxAbsDiff(other *Block) float64 {
 func (b *Block) NormInf() float64 {
 	max := 0.0
 	for _, v := range b.Data {
+		if math.IsNaN(v) {
+			// NaN compares false with everything, so without this guard a
+			// poisoned entry would be silently skipped and the norm would
+			// report the block as healthy. A norm over NaN is NaN.
+			return math.NaN()
+		}
 		a := math.Abs(v)
 		if a > max {
 			max = a

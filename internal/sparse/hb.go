@@ -37,9 +37,21 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 	if len(c) < 4 {
 		return nil, fmt.Errorf("sparse: HB count line %q", l2)
 	}
-	ptrCrd, _ := strconv.Atoi(c[1])
-	indCrd, _ := strconv.Atoi(c[2])
-	valCrd, _ := strconv.Atoi(c[3])
+	ptrCrd, err := atoiCount("PTRCRD", c[1])
+	if err != nil {
+		return nil, err
+	}
+	indCrd, err := atoiCount("INDCRD", c[2])
+	if err != nil {
+		return nil, err
+	}
+	valCrd, err := atoiCount("VALCRD", c[3])
+	if err != nil {
+		return nil, err
+	}
+	if ptrCrd == 0 || indCrd == 0 {
+		return nil, fmt.Errorf("sparse: HB header: PTRCRD=%d INDCRD=%d (need both sections)", ptrCrd, indCrd)
+	}
 	// Header line 3: MXTYPE NROW NCOL NNZERO (NELTVL).
 	l3, err := line()
 	if err != nil {
@@ -53,11 +65,23 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 	if len(mxtype) != 3 || mxtype[0] != 'R' || mxtype[1] != 'S' || mxtype[2] != 'A' {
 		return nil, fmt.Errorf("sparse: unsupported HB matrix type %q (want RSA)", mxtype)
 	}
-	nrow, _ := strconv.Atoi(f3[1])
-	ncol, _ := strconv.Atoi(f3[2])
-	nnz, _ := strconv.Atoi(f3[3])
+	nrow, err := atoiCount("NROW", f3[1])
+	if err != nil {
+		return nil, err
+	}
+	ncol, err := atoiCount("NCOL", f3[2])
+	if err != nil {
+		return nil, err
+	}
+	nnz, err := atoiCount("NNZERO", f3[3])
+	if err != nil {
+		return nil, err
+	}
 	if nrow != ncol || nrow <= 0 {
 		return nil, fmt.Errorf("sparse: HB matrix is %d×%d", nrow, ncol)
+	}
+	if nnz <= 0 {
+		return nil, fmt.Errorf("sparse: HB matrix has %d nonzeros", nnz)
 	}
 	if valCrd == 0 {
 		return nil, fmt.Errorf("sparse: pattern-only HB file (no values)")
@@ -88,7 +112,7 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 		}
 		return nil
 	}
-	colPtr := make([]int, 0, ncol+1)
+	colPtr := make([]int, 0, capHint(ncol+1))
 	if err := readNums(ptrCrd, ncol+1, func(tok string) error {
 		v, err := strconv.Atoi(tok)
 		if err != nil {
@@ -99,7 +123,7 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 	}); err != nil {
 		return nil, err
 	}
-	rowIdx := make([]int, 0, nnz)
+	rowIdx := make([]int, 0, capHint(nnz))
 	if err := readNums(indCrd, nnz, func(tok string) error {
 		v, err := strconv.Atoi(tok)
 		if err != nil {
@@ -110,7 +134,7 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 	}); err != nil {
 		return nil, err
 	}
-	vals := make([]float64, 0, nnz)
+	vals := make([]float64, 0, capHint(nnz))
 	if err := readNums(valCrd, nnz, func(tok string) error {
 		v, err := strconv.ParseFloat(fixFortranFloat(tok), 64)
 		if err != nil {
@@ -137,6 +161,38 @@ func ReadHarwellBoeing(r io.Reader) (*SymCSC, error) {
 		}
 	}
 	return t.Compile(), nil
+}
+
+// maxHBCount bounds every count parsed from an HB header (card counts,
+// dimensions, nonzeros). Real exchange-format matrices are orders of
+// magnitude below it; a count beyond the cap is a corrupt or hostile
+// header, and proceeding with it (as the pre-hardened reader did, with
+// zeros from ignored Atoi errors) would mean huge allocations or a
+// silently empty matrix with a success status.
+const maxHBCount = 100_000_000
+
+// atoiCount parses a header count, rejecting malformed, negative, and
+// absurdly large values instead of defaulting to zero.
+func atoiCount(field, tok string) (int, error) {
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("sparse: HB %s %q: %w", field, tok, err)
+	}
+	if v < 0 || v > maxHBCount {
+		return 0, fmt.Errorf("sparse: HB %s %d out of range [0, %d]", field, v, maxHBCount)
+	}
+	return v, nil
+}
+
+// capHint bounds a pre-allocation capacity so a large (but in-range)
+// header count cannot commit memory before any data proves it real;
+// append grows the slice past the hint as actual tokens arrive.
+func capHint(n int) int {
+	const limit = 1 << 20
+	if n > limit {
+		return limit
+	}
+	return n
 }
 
 // splitFortran splits a fixed-width Fortran data card into tokens,

@@ -1,0 +1,52 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadHarwellBoeing pins the reader's hardening contract: arbitrary
+// byte soup must never panic — malformed headers, truncated sections,
+// hostile counts, and garbage tokens all surface as returned errors, and
+// anything accepted must be a structurally valid matrix.
+//
+// CI runs a short smoke (`go test -fuzz=FuzzReadHarwellBoeing
+// -fuzztime=10s ./internal/sparse`); without -fuzz the seeds below run as
+// ordinary regression cases.
+func FuzzReadHarwellBoeing(f *testing.F) {
+	f.Add(sampleRSA)
+	// Truncations of the valid sample exercise every premature-EOF branch.
+	for _, cut := range []int{0, 10, 80, 160, 250, 330, len(sampleRSA) - 3} {
+		if cut <= len(sampleRSA) {
+			f.Add(sampleRSA[:cut])
+		}
+	}
+	f.Add("Title\n4 1 1 2\nRSA 4 4 7 0\n(8I10) (8I10) (4E20.12)\n")
+	// Hostile headers: non-numeric, negative, and absurd counts.
+	f.Add("t\nx y z w\nRSA 4 4 7 0\nfmt\n")
+	f.Add("t\n4 -1 1 2\nRSA 4 4 7 0\nfmt\n")
+	f.Add("t\n4 999999999999 1 2\nRSA 4 4 7 0\nfmt\n")
+	f.Add("t\n4 1 1 2\nRSA 999999999 999999999 7 0\nfmt\n1 3 5 7 8\n")
+	f.Add("t\n4 1 1 2\nRSA 4 4 -7 0\nfmt\n")
+	// Out-of-range pointers and indices past the headers.
+	f.Add("t\n1 1 1 1\nRSA 2 2 2 0\nfmt\n9 9 9\n9 9\n1.0 1.0\n")
+	f.Add("t\n1 1 1 1\nRSA 2 2 2 0\nfmt\n1 2 3\n-5 7\n1.0 1.0\n")
+	// Fortran D exponents and packed floats.
+	f.Add("t\n1 1 1 1\nRSA 1 1 1 0\nfmt\n1 2\n1\n1.0D+00\n")
+	f.Add("t\n1 1 1 1\nRSA 1 1 1 0\nfmt\n1 2\n1\nnot-a-float\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		a, err := ReadHarwellBoeing(strings.NewReader(data))
+		if err != nil {
+			if a != nil {
+				t.Fatalf("non-nil matrix alongside error %v", err)
+			}
+			return
+		}
+		if a == nil {
+			t.Fatal("nil matrix with nil error")
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted matrix fails validation: %v", verr)
+		}
+	})
+}
