@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench nativebench
+.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench
 
 ## check: the tier-1 gate — vet, build, full test suite, and a race-detector
 ## pass over the concurrency-bearing packages (the native shared-memory
@@ -25,6 +25,15 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+## benchsmoke: one iteration of every native-engine benchmark (the CI step);
+## catches benchmarks that stop compiling or error without paying for timing.
+benchsmoke:
+	$(GO) test -run=NONE -bench=Native -benchtime=1x -benchmem .
+
+## benchjson: regenerate results/nativesolve.json (steady-state SolveInto grid).
+benchjson:
+	BENCH_JSON=1 $(GO) test -run=NONE -bench=NativeSolve -benchmem .
 
 ## nativebench: predicted-vs-measured speedup table on the default 2-D mesh.
 nativebench:

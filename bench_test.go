@@ -9,7 +9,11 @@
 package sptrsv
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"sptrsv/internal/analysis"
@@ -22,6 +26,7 @@ import (
 	"sptrsv/internal/native"
 	"sptrsv/internal/parfact"
 	"sptrsv/internal/redist"
+	"sptrsv/internal/sparse"
 	"sptrsv/internal/symbolic"
 	"sptrsv/internal/twodsolve"
 )
@@ -427,6 +432,119 @@ func BenchmarkNativeSolver(b *testing.B) {
 			})
 		}
 	}
+}
+
+// nativeSolveRow is one grid point of BenchmarkNativeSolve, serialized
+// into the BENCH json document when BENCH_JSON is set.
+type nativeSolveRow struct {
+	Workers         int     `json:"workers"`
+	Grain           int     `json:"grain"` // 0 = tuned default, -1 = aggregation off
+	NRHS            int     `json:"nrhs"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	MFLOPS          float64 `json:"mflops"`
+	Tasks           int     `json:"tasks"`
+	AggregatedTasks int     `json:"aggregated_tasks"`
+	ArenaBytes      int64   `json:"arena_bytes"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+}
+
+// nativeSolveDoc is the BENCH json shape written to results/: one
+// document per benchmark with problem metadata and the measured grid.
+type nativeSolveDoc struct {
+	Bench      string           `json:"bench"`
+	Problem    string           `json:"problem"`
+	N          int              `json:"n"`
+	NnzL       int64            `json:"nnz_l"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Rows       []nativeSolveRow `json:"rows"`
+}
+
+// BenchmarkNativeSolve measures the steady-state hot path of the native
+// engine — warm Solver, SolveInto, no per-call allocations — across the
+// workers × grain × NRHS grid. Run with -benchmem to see the allocation
+// columns; with BENCH_JSON set (a path, or "1" for the default
+// results/nativesolve.json) the grid is also written as a BENCH json
+// document:
+//
+//	BENCH_JSON=1 go test -run=NONE -bench=NativeSolve -benchmem .
+func BenchmarkNativeSolve(b *testing.B) {
+	pr := benchProblem()
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := map[string]nativeSolveRow{}
+	var order []string
+	grains := []struct {
+		name string
+		v    int
+	}{{"default", 0}, {"off", -1}}
+	for _, w := range []int{1, 4} {
+		for _, g := range grains {
+			for _, m := range []int{1, 30} {
+				name := fmt.Sprintf("workers=%d/grain=%s/nrhs=%d", w, g.name, m)
+				b.Run(name, func(b *testing.B) {
+					sv := native.NewSolver(f, native.Options{Workers: w, Grain: g.v})
+					defer sv.Close()
+					ctx := context.Background()
+					rhs := mesh.RandomRHS(pr.Sym.N, m, 1)
+					x := sparse.NewBlock(pr.Sym.N, m)
+					st, err := sv.SolveInto(ctx, rhs, x) // warm-up: sizes the arena, spawns the pool
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if st, err = sv.SolveInto(ctx, rhs, x); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(st.MFLOPS(pr.Sym.SolveFlopsPerRHS, m), "MFLOPS-measured")
+					allocs := testing.AllocsPerRun(2, func() {
+						if _, err := sv.SolveInto(ctx, rhs, x); err != nil {
+							b.Fatal(err)
+						}
+					})
+					if _, seen := rows[name]; !seen {
+						order = append(order, name)
+					}
+					rows[name] = nativeSolveRow{ // largest b.N escalation wins
+						Workers: w, Grain: g.v, NRHS: m,
+						NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
+						MFLOPS:  st.MFLOPS(pr.Sym.SolveFlopsPerRHS, m),
+						Tasks:   st.Tasks, AggregatedTasks: st.AggregatedTasks,
+						ArenaBytes: st.AllocBytes, AllocsPerOp: allocs,
+					}
+				})
+			}
+		}
+	}
+	b.Cleanup(func() {
+		path := os.Getenv("BENCH_JSON")
+		if path == "" {
+			return
+		}
+		if path == "1" {
+			path = "results/nativesolve.json"
+		}
+		doc := nativeSolveDoc{
+			Bench: "NativeSolve", Problem: pr.Name,
+			N: pr.Sym.N, NnzL: pr.Sym.NnzL, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		for _, name := range order {
+			doc.Rows = append(doc.Rows, rows[name])
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s (%d rows)", path, len(doc.Rows))
+	})
 }
 
 // BenchmarkNativeVsSequential pits the parallel engine at full core count

@@ -22,6 +22,8 @@
 //	nativebench
 //	nativebench -side 201 -nrhs 8 -workers 1,2,4,8 -reps 5
 //	nativebench -cube 17          # 3-D mesh instead of the 2-D grid
+//	nativebench -grain 1          # disable subtree aggregation
+//	nativebench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	nativebench -side 63 -inject panic:3         # forward task 3 panics
 //	nativebench -side 63 -inject nan:10          # poison supernode 10's panel
 //	nativebench -side 63 -inject stall:0:30s -timeout 2s
@@ -33,7 +35,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +61,9 @@ func main() {
 		reps    = flag.Int("reps", 3, "native repetitions per count (best time kept)")
 		inject  = flag.String("inject", "", "fault spec KIND:SUPERNODE[:DUR][@backward] (panic, error, stall, nan); runs the fault drill instead of the benchmark")
 		timeout = flag.Duration("timeout", 0, "solve deadline for the fault drill (0 = none)")
+		grain   = flag.Int("grain", 0, "subtree-aggregation work cutoff (0 = tuned default, negative = one task per supernode)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file after the benchmark")
 	)
 	flag.Parse()
 	counts, err := parseCounts(*workers)
@@ -79,14 +86,38 @@ func main() {
 		}
 		return
 	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	fmt.Printf("Predicted (virtual Cray T3D, p processors) vs measured (this host,\n")
 	fmt.Printf("%d cores, p worker goroutines) speedup of the parallel FBsolve.\n\n", runtime.GOMAXPROCS(0))
 	pr := harness.Prepare(prob)
-	table, err := harness.NativeVsSimTable(pr, counts, *nrhs, *reps, machine.T3D())
+	table, err := harness.NativeVsSimTable(pr, counts, harness.NativeConfig{
+		NRHS: *nrhs, Reps: *reps, Grain: *grain, Model: machine.T3D(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(table)
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // surface only retained allocations (the solver arenas)
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // faultDrill arms the injection, shows the structured error SolveCtx

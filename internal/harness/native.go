@@ -38,11 +38,12 @@ func (r NativeResult) MFLOPS(flopsPerRHS int64) float64 {
 }
 
 // RunNative factors the prepared problem sequentially and solves with the
-// goroutine-based engine of package native.
-func RunNative(pr *Prepared, workers, nrhs int, seed int64) (NativeResult, error) {
+// goroutine-based engine of package native, configured by opts (worker
+// count, task grain, hooks — everything native.NewSolver accepts).
+func RunNative(pr *Prepared, opts native.Options, nrhs int, seed int64) (NativeResult, error) {
 	res := NativeResult{
 		Name: pr.Name, N: pr.Sym.N, NnzL: pr.Sym.NnzL,
-		Workers: workers, NRHS: nrhs,
+		Workers: opts.Workers, NRHS: nrhs,
 	}
 	t0 := time.Now()
 	f, err := chol.Factorize(pr.A, pr.Sym)
@@ -50,7 +51,7 @@ func RunNative(pr *Prepared, workers, nrhs int, seed int64) (NativeResult, error
 		return res, fmt.Errorf("harness: %s: %w", pr.Name, err)
 	}
 	res.FactorTime = time.Since(t0)
-	sv := native.NewSolver(f, native.Options{Workers: workers})
+	sv := native.NewSolver(f, opts)
 	b := mesh.RandomRHS(pr.Sym.N, nrhs, seed)
 	x, st, err := sv.SolveCtx(context.Background(), b)
 	res.Workers = sv.Workers()
@@ -76,13 +77,25 @@ type SpeedupRow struct {
 	MeasuredSpeedup  float64
 }
 
+// NativeConfig parameterizes the predicted-versus-measured comparison:
+// how many right-hand sides, how many timed repetitions (best kept), and
+// the native engine's task grain (0 keeps native.DefaultGrain, negative
+// disables subtree aggregation).
+type NativeConfig struct {
+	NRHS  int
+	Reps  int
+	Grain int
+	Model machine.CostModel
+}
+
 // NativeVsSim runs the same factor through the virtual-time solver at
 // each processor count (the paper's model prediction) and through the
 // native engine at the same number of workers (the measured reality),
 // returning one row per count plus the native residual at the largest
 // worker count. The sequential baselines (p = 1, workers = 1) are
 // computed independently of the counts list.
-func NativeVsSim(pr *Prepared, counts []int, nrhs, reps int, model machine.CostModel) ([]SpeedupRow, float64, error) {
+func NativeVsSim(pr *Prepared, counts []int, cfg NativeConfig) ([]SpeedupRow, float64, error) {
+	nrhs, reps, model := cfg.NRHS, cfg.Reps, cfg.Model
 	if reps < 1 {
 		reps = 1
 	}
@@ -100,18 +113,20 @@ func NativeVsSim(pr *Prepared, counts []int, nrhs, reps int, model machine.CostM
 		return st.Time
 	}
 	nativeTime := func(w int) (time.Duration, *sparse.Block, error) {
-		sv := native.NewSolver(f, native.Options{Workers: w})
+		// One solver per count, reused across reps: after the first call
+		// the arena is warm and repetitions run allocation-free.
+		sv := native.NewSolver(f, native.Options{Workers: w, Grain: cfg.Grain})
+		defer sv.Close()
+		x := sparse.NewBlock(pr.Sym.N, nrhs)
 		best := time.Duration(0)
-		var x *sparse.Block
 		for r := 0; r < reps; r++ {
-			xr, st, err := sv.SolveCtx(context.Background(), b)
+			st, err := sv.SolveInto(context.Background(), b, x)
 			if err != nil {
 				return 0, nil, fmt.Errorf("harness: %s: native solve (workers=%d): %w", pr.Name, w, err)
 			}
 			if t := st.Total(); best == 0 || t < best {
 				best = t
 			}
-			x = xr
 		}
 		return best, x, nil
 	}
@@ -146,14 +161,14 @@ func NativeVsSim(pr *Prepared, counts []int, nrhs, reps int, model machine.CostM
 // NativeVsSimTable formats the comparison as the table cmd/nativebench
 // prints and the docs reproduce: predicted (virtual T3D) versus measured
 // (this host) speedup per processor/worker count.
-func NativeVsSimTable(pr *Prepared, counts []int, nrhs, reps int, model machine.CostModel) (string, error) {
-	rows, residual, err := NativeVsSim(pr, counts, nrhs, reps, model)
+func NativeVsSimTable(pr *Prepared, counts []int, cfg NativeConfig) (string, error) {
+	rows, residual, err := NativeVsSim(pr, counts, cfg)
 	if err != nil {
 		return "", err
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: N = %d, nnz(L) = %d, NRHS = %d, GOMAXPROCS = %d\n",
-		pr.Name, pr.Sym.N, pr.Sym.NnzL, nrhs, runtime.GOMAXPROCS(0))
+		pr.Name, pr.Sym.N, pr.Sym.NnzL, cfg.NRHS, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(&sb, "%6s  %14s  %10s  %14s  %10s\n",
 		"p", "sim-time(s)", "sim-spdup", "native-time", "meas-spdup")
 	for _, r := range rows {

@@ -5,20 +5,21 @@ import (
 	"testing"
 
 	"sptrsv/internal/machine"
+	"sptrsv/internal/native"
 )
 
 func TestRunNativeSmall(t *testing.T) {
 	pr := prepSmall(t)
 	for _, w := range []int{1, 4, 8} {
 		for _, m := range []int{1, 4} {
-			res, err := RunNative(pr, w, m, 1)
+			res, err := RunNative(pr, native.Options{Workers: w}, m, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if res.Residual > 1e-10 {
 				t.Fatalf("workers=%d nrhs=%d: residual %g", w, m, res.Residual)
 			}
-			if res.Workers != w || res.NRHS != m || res.Solve.Tasks != pr.Sym.NSuper {
+			if res.Workers != w || res.NRHS != m || res.Solve.Supernodes != pr.Sym.NSuper {
 				t.Fatalf("workers=%d nrhs=%d: result metadata %+v", w, m, res)
 			}
 			if res.Solve.Total() <= 0 || res.FactorTime <= 0 {
@@ -30,7 +31,7 @@ func TestRunNativeSmall(t *testing.T) {
 
 func TestNativeVsSimTableFormat(t *testing.T) {
 	pr := prepSmall(t)
-	table, err := NativeVsSimTable(pr, []int{1, 4}, 2, 2, machine.T3D())
+	table, err := NativeVsSimTable(pr, []int{1, 4}, NativeConfig{NRHS: 2, Reps: 2, Model: machine.T3D()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestNativeVsSimTableFormat(t *testing.T) {
 			t.Fatalf("table missing %q:\n%s", want, table)
 		}
 	}
-	rows, residual, err := NativeVsSim(pr, []int{4}, 2, 2, machine.T3D())
+	rows, residual, err := NativeVsSim(pr, []int{4}, NativeConfig{NRHS: 2, Reps: 2, Grain: 1, Model: machine.T3D()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestNativeResidualSuite(t *testing.T) {
 		t.Skip("full-suite factorization is moderately expensive")
 	}
 	for _, pr := range SuitePrepared() {
-		res, err := RunNative(pr, 8, 4, 1)
+		res, err := RunNative(pr, native.Options{Workers: 8}, 4, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

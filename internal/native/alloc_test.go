@@ -1,0 +1,91 @@
+package native
+
+import (
+	"context"
+	"testing"
+
+	"sptrsv/internal/mesh"
+)
+
+// The tests in this file pin the zero-allocation steady state the arena
+// buys: once a Solver has solved at a given RHS width, repeated
+// SolveInto calls at that width perform no heap allocations at all —
+// sequential path, pooled path, single and multi RHS alike — and
+// SolveCtx allocates only its result block.
+
+func warmSolver(t *testing.T, workers, m int) (*Solver, func()) {
+	t.Helper()
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	sv := NewSolver(f, Options{Workers: workers})
+	b := mesh.RandomRHS(f.Sym.N, m, int64(workers*10+m))
+	x := mesh.RandomRHS(f.Sym.N, m, 0)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ { // arena sizing + pool spawn happen here
+		if _, err := sv.SolveInto(ctx, b, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sv, func() {
+		if _, err := sv.SolveInto(ctx, b, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	for _, tc := range []struct{ workers, m int }{
+		{1, 1}, {1, 4}, {4, 1}, {4, 4},
+	} {
+		sv, solve := warmSolver(t, tc.workers, tc.m)
+		if allocs := testing.AllocsPerRun(10, solve); allocs != 0 {
+			t.Errorf("workers=%d m=%d: %.0f allocs per warm SolveInto, want 0",
+				tc.workers, tc.m, allocs)
+		}
+		sv.Close()
+	}
+}
+
+// TestSolveCtxAllocsOnlyResult bounds the allocating wrapper: a warm
+// SolveCtx may allocate the result block (header + data slab) and
+// nothing else from the solve path.
+func TestSolveCtxAllocsOnlyResult(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	sv := NewSolver(f, Options{Workers: 4})
+	defer sv.Close()
+	b := mesh.RandomRHS(f.Sym.N, 2, 3)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, _, err := sv.SolveCtx(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := sv.SolveCtx(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("%.0f allocs per warm SolveCtx, want at most 2 (the result block)", allocs)
+	}
+}
+
+// TestStatsReportArenaFootprint checks that AllocBytes reflects the
+// retained arena and grows with the RHS width.
+func TestStatsReportArenaFootprint(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(15, 15))
+	sv := NewSolver(f, Options{Workers: 2})
+	defer sv.Close()
+	ctx := context.Background()
+	_, st1, err := sv.SolveCtx(ctx, mesh.RandomRHS(f.Sym.N, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st4, err := sv.SolveCtx(ctx, mesh.RandomRHS(f.Sym.N, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.AllocBytes <= 0 || st4.AllocBytes <= st1.AllocBytes {
+		t.Fatalf("arena footprint not monotone in width: m=1 %d bytes, m=4 %d bytes",
+			st1.AllocBytes, st4.AllocBytes)
+	}
+}

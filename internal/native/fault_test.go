@@ -149,7 +149,7 @@ func TestSolveCtxBitwiseMatchesSolve(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Tasks != f.Sym.NSuper {
+		if st.Supernodes != f.Sym.NSuper {
 			t.Fatalf("workers=%d: stats %+v", w, st)
 		}
 		for i, v := range x.Data {

@@ -1,0 +1,269 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"sptrsv/internal/mesh"
+)
+
+// The tests in this file pin the grain controller's contract: subtree
+// aggregation changes scheduling only — the solution is bitwise identical
+// for every cutoff and worker count — and failures inside an aggregated
+// subtree task are still attributed to the exact supernode that raised
+// them. They are part of the -race suite (`make race`).
+
+// grainSweep is the cutoff ladder the tests pin: per-supernode tasks,
+// light aggregation, the tuned default, and whole-tree collapse.
+var grainSweep = []int{1, 64, 0, math.MaxInt}
+
+func grainName(g int) string {
+	switch g {
+	case 0:
+		return "default"
+	case math.MaxInt:
+		return "inf"
+	default:
+		return fmt.Sprint(g)
+	}
+}
+
+// TestGrainBitwiseIdentity runs the same solve across the full
+// grain × workers grid and demands bitwise-identical solutions — the
+// determinism guarantee must survive any task-boundary choice.
+func TestGrainBitwiseIdentity(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
+	for _, m := range []int{1, 4} {
+		b := mesh.RandomRHS(f.Sym.N, m, 7)
+		want := simulatorP1Solve(t, f, b)
+		for _, g := range grainSweep {
+			for _, w := range []int{1, 2, 8} {
+				sv := NewSolver(f, Options{Workers: w, Grain: g})
+				x, st, err := sv.SolveCtx(context.Background(), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Tasks < 1 || st.Tasks > f.Sym.NSuper {
+					t.Fatalf("grain=%s workers=%d: task count %d", grainName(g), w, st.Tasks)
+				}
+				for i, v := range x.Data {
+					if v != want.Data[i] {
+						t.Fatalf("m=%d grain=%s workers=%d: entry %d differs bitwise from simulator p=1",
+							m, grainName(g), w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGrainTaskCounts checks the schedule geometry at the cutoff
+// extremes: grain 1 degenerates to one task per supernode, the default
+// collapses a real fraction of the tree, and an infinite cutoff leaves
+// exactly one task per elimination-forest root.
+func TestGrainTaskCounts(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	b := mesh.RandomRHS(f.Sym.N, 1, 3)
+	roots := 0
+	for s := 0; s < f.Sym.NSuper; s++ {
+		if f.Sym.SParent[s] < 0 {
+			roots++
+		}
+	}
+
+	sv := NewSolver(f, Options{Workers: 4, Grain: 1})
+	_, st, err := sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != f.Sym.NSuper || st.AggregatedTasks != 0 {
+		t.Fatalf("grain=1: tasks=%d aggregated=%d, want %d/0", st.Tasks, st.AggregatedTasks, f.Sym.NSuper)
+	}
+
+	sv = NewSolver(f, Options{Workers: 4})
+	_, st, err = sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks >= f.Sym.NSuper || st.AggregatedTasks == 0 {
+		t.Fatalf("default grain did not aggregate: tasks=%d aggregated=%d of %d supernodes",
+			st.Tasks, st.AggregatedTasks, f.Sym.NSuper)
+	}
+
+	sv = NewSolver(f, Options{Workers: 4, Grain: math.MaxInt})
+	_, st, err = sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != roots {
+		t.Fatalf("grain=inf: tasks=%d, want one per root (%d)", st.Tasks, roots)
+	}
+}
+
+// TestGrainNegativeDisables pins the documented escape hatch: a negative
+// grain schedules one task per supernode.
+func TestGrainNegativeDisables(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(9, 9))
+	sv := NewSolver(f, Options{Workers: 2, Grain: -1})
+	if sv.Tasks() != f.Sym.NSuper {
+		t.Fatalf("grain=-1: %d tasks, want %d", sv.Tasks(), f.Sym.NSuper)
+	}
+}
+
+// aggregatedInterior returns a supernode that is an interior (non-root)
+// member of a multi-supernode task, so faults there exercise attribution
+// inside an aggregated subtree.
+func aggregatedInterior(sv *Solver) (int, bool) {
+	g := sv.graph
+	for t := 0; t < g.nTasks; t++ {
+		if len(g.members[t]) > 1 {
+			return g.members[t][0], true
+		}
+	}
+	return 0, false
+}
+
+// TestAggregatedPanicNamesSupernode collapses the whole tree into
+// single-subtree tasks and panics a hook deep inside one of them: the
+// recovered *TaskPanicError must name the member supernode, not the
+// aggregated task.
+func TestAggregatedPanicNamesSupernode(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	probe := NewSolver(f, Options{Workers: 4, Grain: math.MaxInt})
+	target, ok := aggregatedInterior(probe)
+	if !ok {
+		t.Skip("no aggregated task on this mesh")
+	}
+	for _, phase := range []TaskPhase{ForwardPhase, BackwardPhase} {
+		sv := NewSolver(f, Options{Workers: 4, Grain: math.MaxInt,
+			TaskHook: func(_ context.Context, p TaskPhase, s int) error {
+				if p == phase && s == target {
+					panic("deliberate aggregated-subtree panic")
+				}
+				return nil
+			}})
+		_, st, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 2, 1))
+		if st.AggregatedTasks == 0 {
+			t.Fatalf("%s: schedule not aggregated (stats %+v)", phase, st)
+		}
+		var pe *TaskPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: got %v, want *TaskPanicError", phase, err)
+		}
+		if pe.Phase != phase || pe.Task != target {
+			t.Fatalf("%s: panic attributed to %s supernode %d, want supernode %d",
+				phase, pe.Phase, pe.Task, target)
+		}
+	}
+}
+
+// TestAggregatedBreakdownNamesSupernode poisons the panel of an interior
+// member of an aggregated task: the *BreakdownError must name that
+// supernode.
+func TestAggregatedBreakdownNamesSupernode(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	probe := NewSolver(f, Options{Workers: 4, Grain: math.MaxInt})
+	target, ok := aggregatedInterior(probe)
+	if !ok {
+		t.Skip("no aggregated task on this mesh")
+	}
+	panel := f.Panels[target]
+	saved := append([]float64(nil), panel...)
+	for i := range panel {
+		panel[i] = math.NaN()
+	}
+	defer copy(panel, saved)
+	sv := NewSolver(f, Options{Workers: 4, Grain: math.MaxInt})
+	_, _, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 2, 2))
+	var be *BreakdownError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BreakdownError", err)
+	}
+	if be.Supernode != target {
+		t.Fatalf("breakdown names supernode %d, want %d", be.Supernode, target)
+	}
+}
+
+// TestGrainRepeatedSolvesReuseArena checks the reuse contract across
+// widths: alternating RHS widths re-sizes the arena, and returning to a
+// previous width keeps results bitwise stable.
+func TestGrainRepeatedSolvesReuseArena(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(15, 15))
+	sv := NewSolver(f, Options{Workers: 4})
+	b1 := mesh.RandomRHS(f.Sym.N, 1, 11)
+	b4 := mesh.RandomRHS(f.Sym.N, 4, 12)
+	x1, st, err := sv.SolveCtx(context.Background(), b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AllocBytes <= 0 {
+		t.Fatalf("arena footprint not reported: %+v", st)
+	}
+	for rep := 0; rep < 3; rep++ {
+		if _, _, err := sv.SolveCtx(context.Background(), b4); err != nil {
+			t.Fatal(err)
+		}
+		x, _, err := sv.SolveCtx(context.Background(), b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range x.Data {
+			if v != x1.Data[i] {
+				t.Fatalf("rep %d: entry %d changed after arena re-size round-trip", rep, i)
+			}
+		}
+	}
+}
+
+// TestSolveIntoMatchesSolveCtx pins that the zero-allocation entry point
+// and the allocating wrapper produce identical bits.
+func TestSolveIntoMatchesSolveCtx(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(13, 13))
+	sv := NewSolver(f, Options{Workers: 4})
+	b := mesh.RandomRHS(f.Sym.N, 3, 9)
+	want, _, err := sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := want.Clone()
+	x.Fill(math.NaN()) // SolveInto must fully overwrite the target
+	if _, err := sv.SolveInto(context.Background(), b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Data {
+		if v != want.Data[i] {
+			t.Fatalf("entry %d differs between SolveInto and SolveCtx", i)
+		}
+	}
+}
+
+// TestSolveIntoRejectsBadShapes checks the target-shape guard.
+func TestSolveIntoRejectsBadShapes(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(5, 5))
+	sv := NewSolver(f, Options{})
+	b := mesh.RandomRHS(f.Sym.N, 2, 1)
+	if _, err := sv.SolveInto(context.Background(), b, mesh.RandomRHS(f.Sym.N, 3, 1)); err == nil {
+		t.Fatal("width-mismatched target accepted")
+	}
+	if _, err := sv.SolveInto(context.Background(), b, mesh.RandomRHS(f.Sym.N+1, 2, 1)); err == nil {
+		t.Fatal("size-mismatched target accepted")
+	}
+}
+
+// TestClosedSolverRejectsSolves pins the Close contract.
+func TestClosedSolverRejectsSolves(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(9, 9))
+	sv := NewSolver(f, Options{Workers: 4})
+	b := mesh.RandomRHS(f.Sym.N, 1, 5)
+	if _, _, err := sv.SolveCtx(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	sv.Close()
+	sv.Close() // idempotent
+	if _, _, err := sv.SolveCtx(context.Background(), b); err == nil {
+		t.Fatal("solve on a closed solver did not error")
+	}
+}

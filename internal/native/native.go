@@ -7,12 +7,19 @@
 // The parallel structure is exactly the one the paper exploits for
 // subtree-to-subcube mapping — independence of disjoint elimination-tree
 // subtrees — but realized as a task DAG over supernodes instead of a
-// processor mapping: forward elimination runs one task per supernode with
+// processor mapping. A grain controller (Options.Grain) applies the
+// paper's insight that subtrees below the top of the tree should run
+// sequentially: every maximal subtree whose solve work falls under the
+// cutoff becomes a single sequential task executing its supernodes in
+// postorder, so the scheduled DAG is a top-of-tree skeleton rather than
+// one task per supernode. Forward elimination runs tasks with
 // dependencies child→parent (leaves to root), back substitution reverses
 // every edge (root to leaves). Tasks become runnable when an atomic
-// dependency counter reaches zero and are executed by a bounded pool of
-// worker goroutines, so arbitrarily wide elimination trees run on any
-// core count without oversubscription.
+// dependency counter reaches zero and are executed by a persistent
+// bounded pool of worker goroutines, so arbitrarily wide elimination
+// trees run on any core count without oversubscription — and repeated
+// solves on a warm Solver allocate nothing: buffers, counters, and
+// scratch all live in a per-solver arena recycled across calls.
 //
 // Numerically the engine mirrors, operation for operation, the virtual
 // machine's single-processor pipeline (package core with p = 1): child
@@ -20,35 +27,47 @@
 // child order before the right-hand side is added, the trapezoid sweeps
 // use the same reciprocal scaling and column-ascending update order, and
 // back substitution reuses the simulator's per-block partial-sum
-// grouping. Because every task writes only its own supernode's buffer and
-// reads only finished children's (forward) or its parent's (backward),
+// grouping. Because every task writes only its own supernodes' buffers
+// and reads only finished children's (forward) or parents' (backward),
 // the solution is bitwise identical to the simulator's p=1 result for any
-// worker count and any task interleaving — the determinism the tests pin
-// down.
+// worker count, any grain, and any task interleaving — the determinism
+// the tests pin down.
 package native
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"sptrsv/internal/chol"
-	"sptrsv/internal/dist"
 	"sptrsv/internal/sparse"
 )
 
 // Options configure the native solver.
 type Options struct {
-	// Workers is the number of worker goroutines executing supernode
-	// tasks; 0 means runtime.GOMAXPROCS(0).
+	// Workers is the number of worker goroutines executing tasks; 0 means
+	// runtime.GOMAXPROCS(0). With one worker the solve runs entirely on
+	// the calling goroutine (no pool, no channels).
 	Workers int
 	// B is the back-substitution partial-sum block width. It must equal
 	// the simulator's preferred solver block size (the paper's b) for the
 	// bitwise-reproducibility guarantee; 0 means the experiments' default
 	// of 8.
 	B int
-	// TaskHook, when non-nil, runs at the start of every supernode task;
+	// Grain is the subtree-aggregation work cutoff in per-RHS solve
+	// flops: every maximal elimination subtree whose total work is at
+	// most Grain collapses into one sequential task (the shared-memory
+	// analogue of the paper's subtree-to-subcube split). 0 means
+	// DefaultGrain; negative disables aggregation (one task per
+	// supernode, the pre-aggregation behaviour); a very large value
+	// collapses each elimination tree into a single task. Grain affects
+	// scheduling only — the solution is bitwise identical for every
+	// value.
+	Grain int
+	// TaskHook, when non-nil, runs at the start of every supernode
+	// execution (aggregated tasks invoke it once per member supernode);
 	// see TaskHook for the contract. Fault-injection tests and
 	// cmd/nativebench -inject use it to force panics, errors, and stalls;
 	// it must be nil in production solves.
@@ -56,36 +75,72 @@ type Options struct {
 }
 
 // DefaultOptions returns the defaults: one worker per available core,
-// block width 8 (matching core.DefaultOptions).
+// block width 8 (matching core.DefaultOptions), DefaultGrain aggregation.
 func DefaultOptions() Options { return Options{} }
 
 // Solver is a reusable shared-memory parallel triangular solver over one
 // numeric factor. The factor panels are shared read-only between workers;
-// a Solver is safe for sequential reuse across many right-hand sides, and
 // independent Solvers may run concurrently.
+//
+// Reuse contract: a Solver is built for sequential reuse — repeated
+// Solve/SolveCtx/SolveInto calls recycle the solver's internal arena and
+// worker pool, so a warm solver allocates nothing per solve (SolveInto)
+// or only the result block (SolveCtx). The flip side is that a Solver is
+// NOT safe for concurrent solve calls: overlapping solves would share the
+// arena. Serialize solves per Solver, or build one Solver per goroutine.
+//
+// A Solver that has run a parallel solve holds its worker goroutines
+// parked until Close is called; an abandoned Solver is cleaned up by a
+// finalizer, so Close is an optimization, not an obligation.
 type Solver struct {
 	F       *chol.Factor
 	workers int
 	b       int
+	grain   int
 	hook    TaskHook
 
 	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
 	// below-triangle row of supernode c (the child→parent scatter map the
 	// simulator precomputes as its xferPlan).
 	parentPos [][]int
-	// leaves are the supernodes with no children (forward-pass sources);
-	// roots are the supernodes with no parent (backward-pass sources).
-	leaves, roots []int
+	// graph is the aggregated task DAG (see grain.go).
+	graph *taskGraph
+	// heightOff[s] is the prefix sum of supernode heights — the arena
+	// slab offset of supernode s's buffer, in rows.
+	heightOff   []int
+	totalHeight int
+
+	arena     arena
+	pool      *pool
+	poolOnce  sync.Once
+	closeOnce sync.Once
+	closed    bool
+
+	// cur is the per-solve state the kernels read (why a Solver is not
+	// safe for concurrent solves).
+	cur struct {
+		b, x *sparse.Block
+		m    int
+	}
 }
 
 // Stats reports one native solve: measured wall-clock time of each sweep
-// plus the pool geometry (the quantities cmd/nativebench compares against
-// the simulator's virtual-time predictions).
+// plus the schedule geometry (the quantities cmd/nativebench compares
+// against the simulator's virtual-time predictions) and the arena
+// footprint.
 type Stats struct {
-	Workers  int
-	Tasks    int // supernode tasks per sweep
-	Forward  time.Duration
-	Backward time.Duration
+	Workers    int
+	Tasks      int // scheduler tasks per sweep, after subtree aggregation
+	Supernodes int // supernodes executed per sweep (= Sym.NSuper)
+	// AggregatedTasks counts tasks that execute more than one supernode —
+	// the collapsed subtrees the grain controller produced.
+	AggregatedTasks int
+	Forward         time.Duration
+	Backward        time.Duration
+	// AllocBytes is the steady-state footprint of the solver's reusable
+	// arena (buffers, counters, scratch) — the memory a warm solver
+	// recycles instead of allocating per solve.
+	AllocBytes int64
 }
 
 // Total returns the combined forward+backward wall-clock time.
@@ -101,8 +156,8 @@ func (st Stats) MFLOPS(flopsPerRHS int64, m int) float64 {
 	return float64(flopsPerRHS) * float64(m) / s / 1e6
 }
 
-// NewSolver precomputes the task DAG and scatter maps for the given
-// numeric factor.
+// NewSolver precomputes the aggregated task DAG and scatter maps for the
+// given numeric factor.
 func NewSolver(f *chol.Factor, opts Options) *Solver {
 	sym := f.Sym
 	w := opts.Workers
@@ -117,16 +172,16 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 		F:         f,
 		workers:   w,
 		b:         b,
+		grain:     opts.Grain,
 		hook:      opts.TaskHook,
 		parentPos: make([][]int, sym.NSuper),
+		heightOff: make([]int, sym.NSuper),
 	}
 	for c := 0; c < sym.NSuper; c++ {
+		sv.heightOff[c] = sv.totalHeight
+		sv.totalHeight += sym.Height(c)
 		par := sym.SParent[c]
-		if len(sym.SChildren[c]) == 0 {
-			sv.leaves = append(sv.leaves, c)
-		}
 		if par < 0 {
-			sv.roots = append(sv.roots, c)
 			continue
 		}
 		// merge scan: every below row of c appears in the parent's sorted
@@ -144,21 +199,39 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 		}
 		sv.parentPos[c] = pos
 	}
+	sv.graph = buildTaskGraph(sym, opts.Grain)
+	// The finalizer releases the parked worker pool of an abandoned
+	// Solver; between sweeps the pool holds no reference back to sv, so
+	// an unreachable Solver really is collected.
+	runtime.SetFinalizer(sv, (*Solver).Close)
 	return sv
 }
 
 // Workers returns the solver's worker-pool size.
 func (sv *Solver) Workers() int { return sv.workers }
 
-// solveState holds the per-solve working buffers: bufs[s] is the
-// Height(s)×m right-hand-side/solution piece of supernode s (row-major),
-// the shared-memory analogue of the simulator's distributed v pieces.
-// Each forward task writes only bufs[s] (reading finished children); each
-// backward task writes only bufs[s] (reading its finished parent), so no
-// two concurrent tasks ever touch the same buffer.
-type solveState struct {
-	m    int
-	bufs [][]float64
+// Tasks returns the number of scheduler tasks per sweep after subtree
+// aggregation (NSuper when aggregation is disabled).
+func (sv *Solver) Tasks() int { return sv.graph.nTasks }
+
+// Close releases the solver's parked worker goroutines. It must not be
+// called concurrently with a solve; after Close every solve returns an
+// error. Close is idempotent, and an abandoned Solver is closed by a
+// finalizer, so calling it is optional.
+func (sv *Solver) Close() {
+	sv.closeOnce.Do(func() {
+		sv.closed = true
+		if sv.pool != nil {
+			close(sv.pool.quit)
+		}
+	})
+}
+
+// ensurePool lazily spawns the persistent worker pool.
+func (sv *Solver) ensurePool() {
+	sv.poolOnce.Do(func() {
+		sv.pool = newPool(sv.workers, sv.graph.nTasks)
+	})
 }
 
 // Solve performs the complete forward elimination and back substitution
@@ -177,212 +250,163 @@ func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
 }
 
 // SolveCtx is the fault-tolerant solve: forward elimination and back
-// substitution under ctx, returning the solution, the wall-clock
-// statistics gathered so far, and an error instead of hanging or lying.
+// substitution under ctx, returning a freshly allocated solution, the
+// wall-clock statistics gathered so far, and an error instead of hanging
+// or lying. It is SolveInto plus one result-block allocation; see
+// SolveInto for the error contract and the zero-allocation path.
+func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block, Stats, error) {
+	x := sparse.NewBlock(sv.F.Sym.N, b.M)
+	stats, err := sv.SolveInto(ctx, b, x)
+	if err != nil {
+		return nil, stats, err
+	}
+	return x, stats, nil
+}
+
+// SolveInto is the allocation-free solve: forward elimination and back
+// substitution under ctx, writing the solution into the caller-provided
+// x (which must be N×M like b). On a warm Solver — same RHS width as the
+// previous solve — SolveInto performs zero allocations: the per-supernode
+// buffers, dependency counters, and backward scratch all come from the
+// solver's arena, and the worker pool persists across calls.
 //
 // Error contract:
 //   - *BreakdownError: a zero/non-finite pivot in either sweep, or a
 //     non-finite solution entry found by the final scan.
 //   - *CancelledError: ctx was cancelled or its deadline expired before
 //     every task completed; errors.Is sees the context cause through it.
-//   - *TaskPanicError: a supernode task (or hook) panicked; the scheduler
-//     recovered it and unwound the pool instead of deadlocking.
-//   - plain error: dimension mismatch between b and the factor.
+//   - *TaskPanicError: a supernode execution (or hook) panicked; the
+//     scheduler recovered it — naming the supernode even inside an
+//     aggregated subtree task — and unwound instead of deadlocking.
+//   - plain error: dimension mismatch, or the Solver was closed.
 //
-// On the success path SolveCtx performs exactly the same floating-point
-// operations in the same order as Solve, so the bitwise-reproducibility
-// guarantee versus the simulator's p=1 execution is unchanged — the
-// guards only read values the sweeps were already touching.
-func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block, Stats, error) {
+// On any error the contents of x are unspecified. On the success path
+// SolveInto performs exactly the same floating-point operations in the
+// same order as the simulator's p=1 execution for every worker count and
+// grain value — the guards only read values the sweeps were already
+// touching.
+func (sv *Solver) SolveInto(ctx context.Context, b, x *sparse.Block) (Stats, error) {
 	sym := sv.F.Sym
-	stats := Stats{Workers: sv.workers, Tasks: sym.NSuper}
+	g := sv.graph
+	stats := Stats{
+		Workers:         sv.workers,
+		Tasks:           g.nTasks,
+		Supernodes:      sym.NSuper,
+		AggregatedTasks: g.aggregated,
+		AllocBytes:      sv.arena.bytes,
+	}
 	if b.N != sym.N {
-		return nil, stats, fmt.Errorf("native: RHS size %d != matrix size %d", b.N, sym.N)
+		return stats, fmt.Errorf("native: RHS size %d != matrix size %d", b.N, sym.N)
 	}
-	st := &solveState{m: b.M, bufs: make([][]float64, sym.NSuper)}
-	for s := 0; s < sym.NSuper; s++ {
-		st.bufs[s] = make([]float64, sym.Height(s)*b.M)
+	if x.N != sym.N || x.M != b.M {
+		return stats, fmt.Errorf("native: solution block %d×%d does not match RHS %d×%d", x.N, x.M, sym.N, b.M)
 	}
-	x := sparse.NewBlock(sym.N, b.M)
+	if sv.closed {
+		return stats, fmt.Errorf("native: solver is closed")
+	}
+	sv.arena.ensure(sv, b.M)
+	stats.AllocBytes = sv.arena.bytes
+	sv.cur.b, sv.cur.x, sv.cur.m = b, x, b.M
+	defer func() { sv.cur.b, sv.cur.x = nil, nil }()
 
-	// Forward elimination: leaves → root. Task s depends on all children.
-	deps := make([]int32, sym.NSuper)
-	for s := 0; s < sym.NSuper; s++ {
-		deps[s] = int32(len(sym.SChildren[s]))
-	}
 	t0 := time.Now()
-	err := sv.runDAG(ctx, ForwardPhase, deps, sv.leaves, func(s int) []int {
-		if p := sym.SParent[s]; p >= 0 {
-			return []int{p}
-		}
-		return nil
-	}, func(tctx context.Context, s int) error {
-		if sv.hook != nil {
-			if herr := sv.hook(tctx, ForwardPhase, s); herr != nil {
-				return herr
-			}
-		}
-		return sv.forwardSupernode(s, st, b)
-	})
+	err := sv.runSweep(ctx, ForwardPhase)
 	stats.Forward = time.Since(t0)
 	if err != nil {
-		return nil, stats, normalizeCancel(err)
-	}
-
-	// Back substitution: root → leaves. Task s depends on its parent.
-	for s := 0; s < sym.NSuper; s++ {
-		if sym.SParent[s] < 0 {
-			deps[s] = 0
-		} else {
-			deps[s] = 1
-		}
+		return stats, normalizeCancel(err)
 	}
 	t0 = time.Now()
-	err = sv.runDAG(ctx, BackwardPhase, deps, sv.roots, func(s int) []int {
-		return sym.SChildren[s]
-	}, func(tctx context.Context, s int) error {
-		if sv.hook != nil {
-			if herr := sv.hook(tctx, BackwardPhase, s); herr != nil {
-				return herr
-			}
-		}
-		return sv.backwardSupernode(s, st, x)
-	})
+	err = sv.runSweep(ctx, BackwardPhase)
 	stats.Backward = time.Since(t0)
 	if err != nil {
-		return nil, stats, normalizeCancel(err)
+		return stats, normalizeCancel(err)
 	}
 	// Final cheap scan: breakdown that slips past the pivot guards
 	// (overflow, a poisoned off-diagonal panel entry) must never be
 	// returned with a success status.
 	if err := sv.F.ScanFinite(x); err != nil {
-		return nil, stats, err
+		return stats, err
 	}
-	return x, stats, nil
+	return stats, nil
 }
 
-// forwardSupernode is one forward-elimination task: gather finished
-// children, add the right-hand side, and run the dense trapezoid sweep.
-// The operation order mirrors the simulator's p=1 execution exactly —
-// children ascending, then RHS, then columns ascending with reciprocal
-// scaling — so the result is bitwise reproducible. A zero or non-finite
-// pivot aborts the task (and with it the sweep) with a *BreakdownError.
-func (sv *Solver) forwardSupernode(s int, st *solveState, b *sparse.Block) error {
-	sym := sv.F.Sym
-	ns := sym.Height(s)
-	t := sym.Width(s)
-	j0 := sym.Super[s]
-	m := st.m
-	panel := sv.F.Panels[s]
-	v := st.bufs[s]
-	for _, c := range sym.SChildren[s] {
-		cv := st.bufs[c]
-		tc := sym.Width(c)
-		for i, pos := range sv.parentPos[c] {
-			src := cv[(tc+i)*m : (tc+i+1)*m]
-			dst := v[pos*m : (pos+1)*m]
-			for k := 0; k < m; k++ {
-				dst[k] += src[k]
-			}
+// runSweep executes one phase of the current solve, sequentially on the
+// calling goroutine when one worker (or one task) makes a pool pointless,
+// otherwise on the persistent pool. When a hook is installed the sweep
+// context is made cancellable so a blocked hook is released as soon as
+// any sibling task fails.
+func (sv *Solver) runSweep(ctx context.Context, phase TaskPhase) error {
+	var cancel context.CancelFunc
+	if sv.hook != nil {
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	g := sv.graph
+	if sv.workers <= 1 || g.nTasks <= 1 {
+		if err := ctx.Err(); err != nil {
+			return &CancelledError{Cause: context.Cause(ctx)}
+		}
+		return sv.runSeq(ctx, phase)
+	}
+	sv.ensurePool()
+	deps := sv.arena.deps
+	if phase == ForwardPhase {
+		copy(deps, g.nchildren)
+		return sv.pool.sweep(ctx, cancel, phase, sv, deps, g.fsources, g.parent, nil, g.nTasks)
+	}
+	for t := 0; t < g.nTasks; t++ {
+		if g.parent[t] < 0 {
+			deps[t] = 0
+		} else {
+			deps[t] = 1
 		}
 	}
-	for j := 0; j < t; j++ {
-		row := b.Row(j0 + j)
-		dst := v[j*m : (j+1)*m]
-		for k := 0; k < m; k++ {
-			dst[k] += row[k]
-		}
-	}
-	for j := 0; j < t; j++ {
-		col := panel[j*ns:]
-		xj := v[j*m : (j+1)*m]
-		if chol.BadPivot(col[j]) {
-			return &BreakdownError{Supernode: s, Column: j0 + j, Pivot: col[j]}
-		}
-		inv := 1 / col[j]
-		for c := 0; c < m; c++ {
-			xj[c] *= inv
-		}
-		for i := j + 1; i < ns; i++ {
-			lij := col[i]
-			dst := v[i*m : (i+1)*m]
-			for c := 0; c < m; c++ {
-				dst[c] -= lij * xj[c]
+	return sv.pool.sweep(ctx, cancel, phase, sv, deps, g.bsources, nil, g.children, g.nTasks)
+}
+
+// runTask executes one scheduler task: its member supernodes in postorder
+// for the forward sweep, reverse postorder for the backward sweep —
+// exactly the order a lone processor would use on the collapsed subtree.
+func (sv *Solver) runTask(ctx context.Context, phase TaskPhase, worker, task int) error {
+	members := sv.graph.members[task]
+	if phase == ForwardPhase {
+		for _, s := range members {
+			if err := sv.execSupernode(ctx, phase, worker, s); err != nil {
+				return err
 			}
+		}
+		return nil
+	}
+	for i := len(members) - 1; i >= 0; i-- {
+		if err := sv.execSupernode(ctx, phase, worker, members[i]); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// backwardSupernode is one back-substitution task: pull the ancestor
-// solution values for the below-triangle rows from the finished parent,
-// then run the blocked transposed sweep. Blocking (width, descending
-// block order, per-block partial-sum accumulation with the simulator's
-// zero skip) replicates the p=1 pipeline's floating-point grouping. A
-// zero or non-finite pivot aborts with a *BreakdownError.
-func (sv *Solver) backwardSupernode(s int, st *solveState, x *sparse.Block) error {
-	sym := sv.F.Sym
-	ns := sym.Height(s)
-	t := sym.Width(s)
-	j0 := sym.Super[s]
-	m := st.m
-	panel := sv.F.Panels[s]
-	v := st.bufs[s]
-	if par := sym.SParent[s]; par >= 0 {
-		pv := st.bufs[par]
-		for i, pos := range sv.parentPos[s] {
-			copy(v[(t+i)*m:(t+i+1)*m], pv[pos*m:(pos+1)*m])
+// execSupernode runs one supernode's hook and numeric kernel with its own
+// panic recovery, so a panic anywhere inside an aggregated subtree is
+// attributed to the exact supernode that raised it.
+func (sv *Solver) execSupernode(ctx context.Context, phase TaskPhase, worker, s int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TaskPanicError{Phase: phase, Task: s, Value: r}
+		}
+	}()
+	if sv.hook != nil {
+		if herr := sv.hook(ctx, phase, s); herr != nil {
+			return herr
 		}
 	}
-	bsz := dist.AdaptiveBlock(ns, 1, sv.b) // the simulator's p=1 blocking
-	tb := (t + bsz - 1) / bsz
-	for k := tb - 1; k >= 0; k-- {
-		r0 := k * bsz
-		r1 := r0 + bsz
-		if r1 > t {
-			r1 = t
+	if phase == ForwardPhase {
+		if sv.cur.m == 1 {
+			return sv.forwardSupernode1(s)
 		}
-		bw := r1 - r0
-		acc := make([]float64, bw*m)
-		for j := 0; j < bw; j++ {
-			col := panel[(r0+j)*ns:]
-			aj := acc[j*m : (j+1)*m]
-			for li := r1; li < ns; li++ {
-				lij := col[li]
-				if lij == 0 {
-					continue
-				}
-				src := v[li*m : (li+1)*m]
-				for c := 0; c < m; c++ {
-					aj[c] += lij * src[c]
-				}
-			}
-		}
-		xk := v[r0*m : r1*m]
-		for i := range acc {
-			xk[i] -= acc[i]
-		}
-		for j := bw - 1; j >= 0; j-- {
-			col := panel[(r0+j)*ns:]
-			xj := xk[j*m : (j+1)*m]
-			for i := j + 1; i < bw; i++ {
-				lij := col[r0+i]
-				xi := xk[i*m : (i+1)*m]
-				for c := 0; c < m; c++ {
-					xj[c] -= lij * xi[c]
-				}
-			}
-			if chol.BadPivot(col[r0+j]) {
-				return &BreakdownError{Supernode: s, Column: j0 + r0 + j, Pivot: col[r0+j]}
-			}
-			inv := 1 / col[r0+j]
-			for c := 0; c < m; c++ {
-				xj[c] *= inv
-			}
-		}
+		return sv.forwardSupernodeM(s)
 	}
-	for j := 0; j < t; j++ {
-		copy(x.Row(j0+j), v[j*m:(j+1)*m])
+	if sv.cur.m == 1 {
+		return sv.backwardSupernode1(s)
 	}
-	return nil
+	return sv.backwardSupernodeM(s, worker)
 }

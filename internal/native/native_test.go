@@ -117,8 +117,11 @@ func TestMultiRHSAmalgamatedVsDenseReference(t *testing.T) {
 			if r := residual(a, x, b); r > 1e-10 {
 				t.Fatalf("m=%d: residual %g", m, r)
 			}
-			if st.Workers != 8 || st.Tasks != f.Sym.NSuper {
+			if st.Workers != 8 || st.Supernodes != f.Sym.NSuper {
 				t.Fatalf("stats = %+v", st)
+			}
+			if st.Tasks != sv.Tasks() || st.Tasks > f.Sym.NSuper || st.Tasks < 1 {
+				t.Fatalf("task count %d out of range (NSuper=%d)", st.Tasks, f.Sym.NSuper)
 			}
 		})
 	}
