@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench
+.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson
 
 ## check: the tier-1 gate — vet, build, full test suite, and a race-detector
 ## pass over the concurrency-bearing packages (the native shared-memory
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness
+	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve
 
 ## fuzz: short never-panic smoke of the Harwell-Boeing reader (same as CI).
 fuzz:
@@ -38,3 +38,14 @@ benchjson:
 ## nativebench: predicted-vs-measured speedup table on the default 2-D mesh.
 nativebench:
 	$(GO) run ./cmd/nativebench
+
+## loadsmoke: short closed-loop run of the serving layer on a small grid
+## (the CI step); catches the server path end to end without paying for a
+## full benchmark.
+loadsmoke:
+	$(GO) run ./cmd/solveload -grid2d 31x31 -clients 4 -duration 500ms
+
+## loadjson: regenerate results/solveload.json (serving throughput vs the
+## per-request baseline on the 2-D grid bench problem).
+loadjson:
+	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s -json results/solveload.json

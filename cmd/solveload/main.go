@@ -1,0 +1,242 @@
+// Command solveload is the closed-loop load generator for the serving
+// layer: a configurable number of clients each submit single-RHS solve
+// requests back-to-back against one factor, first through the baseline
+// path (per-request harness.SolveRobust, which builds and closes a
+// solver every call) and then through the internal/serve server (warm
+// solver, batch coalescing) — measuring the aggregate solves/sec both
+// ways. This is the serving analogue of the paper's §5 NRHS sweep: the
+// speedup column is amortization made visible.
+//
+// With -json the run is recorded as a BENCH_JSON document (throughput,
+// latency quantiles, path counters, batch-shape statistics) suitable for
+// committing under results/.
+//
+// Usage:
+//
+//	solveload -grid2d 63x63 -clients 8 -duration 3s -json results/solveload.json
+//	solveload -grid2d 31x31 -clients 4 -duration 300ms -nobaseline
+//	solveload -grid2d 63x63 -inject nan:40 -duration 1s   # overload/fault drill
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/faultinject"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
+	"sptrsv/internal/serve"
+	"sptrsv/internal/sparse"
+)
+
+type sideReport struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	Overloaded   uint64  `json:"overloaded"`
+	SolvesPerSec float64 `json:"solves_per_sec"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P95Ms        float64 `json:"p95_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
+}
+
+type report struct {
+	Bench      string         `json:"bench"`
+	Problem    string         `json:"problem"`
+	N          int            `json:"n"`
+	NnzL       int64          `json:"nnz_l"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Clients    int            `json:"clients"`
+	DurationS  float64        `json:"duration_s"`
+	MaxBatch   int            `json:"max_batch"`
+	LingerUs   float64        `json:"linger_us"`
+	Baseline   *sideReport    `json:"baseline,omitempty"`
+	Served     sideReport     `json:"served"`
+	Speedup    float64        `json:"speedup,omitempty"` // served/baseline solves-per-sec
+	Snapshot   serve.Snapshot `json:"snapshot"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solveload: ")
+	var (
+		grid2d     = flag.String("grid2d", "63x63", "2-D grid size NXxNY (5-point Laplacian bench problem)")
+		problem    = flag.String("problem", "", "suite problem name instead of -grid2d")
+		workers    = flag.Int("workers", 0, "native solver workers (0 = GOMAXPROCS)")
+		grain      = flag.Int("grain", 0, "native solver task grain (0 = default)")
+		clients    = flag.Int("clients", 2*runtime.GOMAXPROCS(0), "closed-loop client goroutines")
+		duration   = flag.Duration("duration", 3*time.Second, "measured duration per side")
+		maxBatch   = flag.Int("maxbatch", 30, "serve: max coalesced RHS per sweep")
+		linger     = flag.Duration("linger", 200*time.Microsecond, "serve: batch linger window")
+		queue      = flag.Int("queue", 0, "serve: admission queue depth (0 = 4×maxbatch)")
+		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline (0 = none)")
+		tol        = flag.Float64("tol", 1e-10, "residual tolerance of the degradation ladder")
+		noBaseline = flag.Bool("nobaseline", false, "skip the per-request SolveRobust baseline side")
+		inject     = flag.String("inject", "", "fault drill: faultinject spec (panic:S | error:S | stall:S:DUR | nan:S) active on the served side")
+		jsonPath   = flag.String("json", "", "write the BENCH_JSON report here (\"1\" = results/solveload.json)")
+	)
+	flag.Parse()
+
+	pr, err := pickPrepared(*problem, *grid2d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: N = %d, nnz(L) = %d, GOMAXPROCS = %d, clients = %d, duration = %s\n",
+		pr.Name, pr.Sym.N, pr.Sym.NnzL, runtime.GOMAXPROCS(0), *clients, *duration)
+
+	rep := report{
+		Bench: "solveload", Problem: pr.Name,
+		N: pr.Sym.N, NnzL: pr.Sym.NnzL,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    *clients, DurationS: duration.Seconds(),
+		MaxBatch: *maxBatch, LingerUs: float64(linger.Microseconds()),
+	}
+
+	var hook native.TaskHook
+	restore := func() {}
+	if *inject != "" {
+		inj, err := faultinject.Parse(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault drill: %s\n", inj)
+		hook = inj.Hook()
+		if restore, err = inj.Poison(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer restore()
+
+	if !*noBaseline {
+		base := runSide(pr, *clients, *duration, *reqTimeout, func(ctx context.Context, rhs []float64) error {
+			b := &sparse.Block{N: pr.Sym.N, M: 1, Data: rhs}
+			_, err := harness.SolveRobust(ctx, pr, f, b, native.Options{Workers: *workers, Grain: *grain}, *tol)
+			return err
+		})
+		rep.Baseline = &base
+		fmt.Printf("baseline (per-request SolveRobust): %8.1f solves/sec  (%d requests, %d errors)\n",
+			base.SolvesPerSec, base.Requests, base.Errors)
+	}
+
+	srv := serve.New(pr, f, serve.Config{
+		Workers: *workers, Grain: *grain,
+		MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
+		Tol: *tol, TaskHook: hook,
+	})
+	defer srv.Close()
+	served := runSide(pr, *clients, *duration, *reqTimeout, func(ctx context.Context, rhs []float64) error {
+		_, err := srv.Solve(ctx, rhs)
+		return err
+	})
+	snap := srv.Snapshot()
+	served.P50Ms = float64(snap.Latency.Quantile(0.50)) / float64(time.Millisecond)
+	served.P95Ms = float64(snap.Latency.Quantile(0.95)) / float64(time.Millisecond)
+	served.P99Ms = float64(snap.Latency.Quantile(0.99)) / float64(time.Millisecond)
+	rep.Served = served
+	rep.Snapshot = snap
+	fmt.Printf("served   (batched warm solver)    : %8.1f solves/sec  (%d requests, %d errors, %d shed)\n",
+		served.SolvesPerSec, served.Requests, served.Errors, served.Overloaded)
+	fmt.Printf("  batches = %d (mean width %.1f, max %d, splits %d), queue high-water = %d/%d\n",
+		snap.Batches, snap.MeanBatchWidth, snap.MaxBatchWidth, snap.BatchSplits, snap.MaxQueueDepth, snap.QueueCap)
+	fmt.Printf("  paths: native = %d, sequential+refine = %d, cancelled = %d, failed = %d\n",
+		snap.PathNative, snap.PathSequentialRefine, snap.Cancelled, snap.Failed)
+	fmt.Printf("  latency: mean %s, p50 %.3gms, p95 %.3gms, p99 %.3gms\n",
+		snap.Latency.Mean.Round(time.Microsecond), served.P50Ms, served.P95Ms, served.P99Ms)
+	if rep.Baseline != nil && rep.Baseline.SolvesPerSec > 0 {
+		rep.Speedup = served.SolvesPerSec / rep.Baseline.SolvesPerSec
+		fmt.Printf("  serving speedup over per-request SolveRobust: %.2f×\n", rep.Speedup)
+	}
+
+	if *jsonPath != "" {
+		path := *jsonPath
+		if path == "1" {
+			path = "results/solveload.json"
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// runSide drives one closed loop: clients goroutines each cycling through
+// a private set of right-hand sides, submitting as fast as answers come
+// back, until the duration elapses.
+func runSide(pr *harness.Prepared, clients int, d, reqTimeout time.Duration, solve func(context.Context, []float64) error) sideReport {
+	var requests, errs, overloaded atomic.Uint64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// A handful of pre-generated RHS per client: realistic variety
+			// without paying RNG cost inside the measured loop.
+			rhss := make([][]float64, 8)
+			for i := range rhss {
+				rhss[i] = mesh.RandomRHS(pr.Sym.N, 1, int64(1000*c+i+1)).Data
+			}
+			for i := 0; time.Now().Before(deadline); i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if reqTimeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+				}
+				err := solve(ctx, rhss[i%len(rhss)])
+				if cancel != nil {
+					cancel()
+				}
+				requests.Add(1)
+				if err != nil {
+					errs.Add(1)
+					var oe *serve.OverloadError
+					if errors.As(err, &oe) {
+						overloaded.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep := sideReport{Requests: requests.Load(), Errors: errs.Load(), Overloaded: overloaded.Load()}
+	ok := rep.Requests - rep.Errors
+	rep.SolvesPerSec = float64(ok) / d.Seconds()
+	return rep
+}
+
+func pickPrepared(problem, grid2d string) (*harness.Prepared, error) {
+	if problem != "" {
+		prob, err := mesh.ByName(problem)
+		if err != nil {
+			return nil, err
+		}
+		return harness.Prepare(prob), nil
+	}
+	var nx, ny int
+	if _, err := fmt.Sscanf(strings.ToLower(grid2d), "%dx%d", &nx, &ny); err != nil || nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("bad -grid2d %q (want NXxNY)", grid2d)
+	}
+	return harness.Prepare(mesh.Problem{
+		Name: fmt.Sprintf("GRID2D-%dx%d", nx, ny), PaperRef: "serving bench problem",
+		A: mesh.Grid2D(nx, ny), Geom: mesh.Grid2DGeometry(nx, ny),
+	}), nil
+}

@@ -10,12 +10,18 @@
 // iterative refinement, reporting which rung produced the answer.
 // -timeout bounds the whole solve either way.
 //
+// With -serve the problem is stood up behind the internal/serve serving
+// layer instead: -nrhs concurrent clients push single-RHS requests
+// through the coalescing server for a short demo run, and the server's
+// metrics snapshot is printed.
+//
 // Usage:
 //
 //	spdsolve -problem GRID2D-127 -p 64 -nrhs 4
 //	spdsolve -grid2d 63x63 -p 16 -b 4 -rowpriority
 //	spdsolve -cube 12 -p 8 -nrhs 30
 //	spdsolve -grid2d 63x63 -native -p 8 -timeout 30s
+//	spdsolve -grid2d 63x63 -serve -nrhs 8
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sptrsv/internal/chol"
@@ -32,6 +40,7 @@ import (
 	"sptrsv/internal/mesh"
 	"sptrsv/internal/native"
 	"sptrsv/internal/order"
+	"sptrsv/internal/serve"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/symbolic"
 )
@@ -52,6 +61,7 @@ func main() {
 		rowPriority = flag.Bool("rowpriority", false, "use the row-priority pipelined variant (Fig. 3b)")
 		exact       = flag.Bool("exact", false, "disable supernode amalgamation")
 		nativeRun   = flag.Bool("native", false, "solve with the hardened native shared-memory path (workers = -p) instead of the simulator")
+		serveRun    = flag.Bool("serve", false, "demo the serving layer: -nrhs concurrent clients through the coalescing server")
 		timeout     = flag.Duration("timeout", 0, "overall solve deadline (0 = none)")
 	)
 	flag.Parse()
@@ -88,6 +98,12 @@ func main() {
 	}
 	if *nativeRun {
 		if err := runHardenedNative(ctx, pr, *p, *nrhs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serveRun {
+		if err := runServeDemo(ctx, pr, *p, *nrhs); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -148,6 +164,56 @@ func runHardenedNative(ctx context.Context, pr *harness.Prepared, workers, nrhs 
 		fmt.Printf("  refinement              : %d iters, %s\n", res.Refine.Iters, res.Refine.Reason)
 	}
 	fmt.Printf("  relative residual       : %.3g\n", res.Residual)
+	return nil
+}
+
+// runServeDemo factorizes, stands the factor up behind the serving
+// layer, and drives it with nrhs concurrent closed-loop clients for one
+// second — then prints the server's own accounting of what happened.
+func runServeDemo(ctx context.Context, pr *harness.Prepared, workers, clients int) error {
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		return err
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	srv := serve.New(pr, f, serve.Config{Workers: workers})
+	defer srv.Close()
+	const demo = time.Second
+	fmt.Printf("serving layer demo (workers = %d, clients = %d, %s)\n", workers, clients, demo)
+	deadline := time.Now().Add(demo)
+	var solved atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rhs := mesh.RandomRHS(pr.Sym.N, 1, int64(c+1)).Data
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if _, err := srv.Solve(ctx, rhs); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				solved.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("  served                  : %d solves (%.1f solves/sec)\n",
+		solved.Load(), float64(solved.Load())/demo.Seconds())
+	fmt.Printf("  batches                 : %d (mean width %.1f, max %d, splits %d)\n",
+		snap.Batches, snap.MeanBatchWidth, snap.MaxBatchWidth, snap.BatchSplits)
+	fmt.Printf("  paths                   : native = %d, sequential+refine = %d\n",
+		snap.PathNative, snap.PathSequentialRefine)
+	fmt.Printf("  latency                 : mean %s, p50 %s, p99 %s\n",
+		snap.Latency.Mean.Round(time.Microsecond),
+		snap.Latency.Quantile(0.50), snap.Latency.Quantile(0.99))
 	return nil
 }
 

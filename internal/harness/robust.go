@@ -54,15 +54,32 @@ type RobustResult struct {
 // iterative refinement. A cancelled context aborts the ladder immediately
 // (the caller asked to stop; burning more time on a fallback would defeat
 // the deadline). tol <= 0 means the experiments' default of 1e-10.
+//
+// SolveRobust constructs a native solver for this one call and closes it
+// before returning, so repeated calls leak neither goroutines nor parked
+// worker pools. A server handling many requests against one factor should
+// instead hold a warm *native.Solver and call SolveRobustWith — paying
+// DAG construction and arena sizing once, not per request.
 func SolveRobust(ctx context.Context, pr *Prepared, f *chol.Factor, b *sparse.Block, opts native.Options, tol float64) (RobustResult, error) {
+	sv := native.NewSolver(f, opts)
+	defer sv.Close()
+	return SolveRobustWith(ctx, pr, sv, b, tol)
+}
+
+// SolveRobustWith runs the same degradation ladder on a caller-owned warm
+// solver: the native rung reuses sv's task DAG, arena, and parked worker
+// pool (the amortization a serving layer lives on), and the sequential
+// fallback solves through the solver's own factor. sv is not closed — its
+// lifecycle belongs to the caller. Multiple goroutines may share one sv;
+// the solver serializes them internally.
+func SolveRobustWith(ctx context.Context, pr *Prepared, sv *native.Solver, b *sparse.Block, tol float64) (RobustResult, error) {
 	if tol <= 0 {
 		tol = 1e-10
 	}
 	res := RobustResult{Path: PathNative}
-	sv := native.NewSolver(f, opts)
 	x, _, err := sv.SolveCtx(ctx, b)
 	if err == nil {
-		r := relResidual(pr.A, x, b)
+		r := RelResidual(pr.A, x, b)
 		if r <= tol { // a NaN residual fails this comparison
 			res.X, res.Residual = x, r
 			return res, nil
@@ -75,6 +92,7 @@ func SolveRobust(ctx context.Context, pr *Prepared, f *chol.Factor, b *sparse.Bl
 		return res, err
 	}
 	res.Path = PathSequentialRefine
+	f := sv.F
 	seq := func(rb *sparse.Block) *sparse.Block {
 		// A breakdown here leaves rb partially solved; the refinement
 		// loop observes the stagnant or non-finite residual and stops
@@ -93,9 +111,11 @@ func SolveRobust(ctx context.Context, pr *Prepared, f *chol.Factor, b *sparse.Bl
 	return res, nil
 }
 
-// relResidual returns ‖A·x − b‖∞ / ‖b‖∞ (NaN-propagating: a poisoned
-// solution yields a NaN residual, never a healthy-looking number).
-func relResidual(a *sparse.SymCSC, x, b *sparse.Block) float64 {
+// RelResidual returns ‖A·x − b‖∞ / ‖b‖∞ (NaN-propagating: a poisoned
+// solution yields a NaN residual, never a healthy-looking number). It is
+// the verification every rung of the ladder — and the serving layer's
+// batched sweep — applies before trusting a solution.
+func RelResidual(a *sparse.SymCSC, x, b *sparse.Block) float64 {
 	r := sparse.NewBlock(b.N, b.M)
 	a.MulBlock(x, r)
 	r.AddScaled(-1, b)

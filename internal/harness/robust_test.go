@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"sptrsv/internal/chol"
 	"sptrsv/internal/mesh"
@@ -92,6 +94,63 @@ func TestSolveRobustCancelledNoFallback(t *testing.T) {
 	}
 	if res.Refine != nil {
 		t.Fatal("cancelled ladder must not run the fallback rung")
+	}
+}
+
+// TestSolveRobustGoroutineFlat is the leak regression: every SolveRobust
+// call used to construct a native solver and abandon its parked worker
+// pool to the finalizer, so a serving loop accumulated goroutines without
+// bound. Now the per-call solver is closed before returning, and repeated
+// robust solves keep the goroutine count flat.
+func TestSolveRobustGoroutineFlat(t *testing.T) {
+	pr := prepSmall(t)
+	f := factorFor(t, pr)
+	b := mesh.RandomRHS(pr.Sym.N, 1, 1)
+	solve := func() {
+		if _, err := SolveRobust(context.Background(), pr, f, b, native.Options{Workers: 4}, 1e-10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // settle one-time runtime goroutines before measuring
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		solve()
+	}
+	// Closed pools shut down asynchronously (workers notice the closed
+	// quit channel); give them a moment before declaring a leak.
+	var now int
+	for wait := 0; wait < 100; wait++ {
+		if now = runtime.NumGoroutine(); now <= base+2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if now > base+2 {
+		t.Fatalf("goroutines grew from %d to %d across 50 robust solves", base, now)
+	}
+}
+
+// TestSolveRobustWithWarmSolver pins the serving-layer contract: many
+// robust solves may share one caller-owned solver, which stays open and
+// keeps producing native-path answers.
+func TestSolveRobustWithWarmSolver(t *testing.T) {
+	pr := prepSmall(t)
+	f := factorFor(t, pr)
+	sv := native.NewSolver(f, native.Options{Workers: 4})
+	defer sv.Close()
+	for i := 0; i < 5; i++ {
+		b := mesh.RandomRHS(pr.Sym.N, 1, int64(i+1))
+		res, err := SolveRobustWith(context.Background(), pr, sv, b, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != PathNative {
+			t.Fatalf("solve %d took path %q on a healthy warm solver", i, res.Path)
+		}
+	}
+	// The ladder must not have closed the caller's solver.
+	if _, _, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(pr.Sym.N, 1, 99)); err != nil {
+		t.Fatalf("warm solver unusable after SolveRobustWith: %v", err)
 	}
 }
 

@@ -1,0 +1,109 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/sparse"
+)
+
+// The tests in this file pin the hardened Close contract: Close may race
+// a solve from another goroutine (run them under -race), an in-flight
+// solve drains before the pool dies, and every post-Close solve returns
+// exactly ErrClosed — deterministically, without allocating result
+// storage.
+
+func TestCloseDuringSolveRace(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	b := mesh.RandomRHS(f.Sym.N, 2, 7)
+	for trial := 0; trial < 20; trial++ {
+		sv := NewSolver(f, Options{Workers: 4})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		errc := make(chan error, 1)
+		go func() {
+			defer wg.Done()
+			_, _, err := sv.SolveCtx(context.Background(), b)
+			errc <- err
+		}()
+		go func() {
+			defer wg.Done()
+			sv.Close()
+		}()
+		wg.Wait()
+		// The solve either completed before Close won the lock, or it
+		// observed the closed solver — nothing else is acceptable.
+		if err := <-errc; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("trial %d: racing solve returned %v, want nil or ErrClosed", trial, err)
+		}
+		// After Close both entry points refuse deterministically.
+		if _, _, err := sv.SolveCtx(context.Background(), b); !errors.Is(err, ErrClosed) {
+			t.Fatalf("trial %d: post-Close SolveCtx returned %v, want ErrClosed", trial, err)
+		}
+		x := sparse.NewBlock(f.Sym.N, b.M)
+		if _, err := sv.SolveInto(context.Background(), b, x); !errors.Is(err, ErrClosed) {
+			t.Fatalf("trial %d: post-Close SolveInto returned %v, want ErrClosed", trial, err)
+		}
+	}
+}
+
+func TestConcurrentSolvesSerialized(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	sv := NewSolver(f, Options{Workers: 4})
+	defer sv.Close()
+	b := mesh.RandomRHS(f.Sym.N, 1, 3)
+	want, _, err := sv.SolveCtx(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x, _, err := sv.SolveCtx(context.Background(), b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if x.MaxAbsDiff(want) != 0 {
+				t.Error("concurrent solve diverged from the serial result")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRejectionAllocationFree pins the validate-before-allocate order of
+// SolveCtx: a malformed or post-Close request must be refused without
+// committing the N×M result block (only the small error value itself may
+// be allocated).
+func TestRejectionAllocationFree(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	sv := NewSolver(f, Options{Workers: 2})
+	ctx := context.Background()
+	bad := mesh.RandomRHS(f.Sym.N+1, 4, 1)
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := sv.SolveCtx(ctx, bad); err == nil {
+			t.Fatal("mismatched RHS accepted")
+		}
+	}); allocs > 2 {
+		t.Errorf("malformed-RHS rejection allocated %.0f objects, want ≤ 2", allocs)
+	}
+	empty := &sparse.Block{N: f.Sym.N, M: 0}
+	if _, _, err := sv.SolveCtx(ctx, empty); err == nil {
+		t.Fatal("zero-column RHS accepted")
+	}
+	sv.Close()
+	good := mesh.RandomRHS(f.Sym.N, 4, 1)
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := sv.SolveCtx(ctx, good); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-Close SolveCtx returned %v, want ErrClosed", err)
+		}
+	}); allocs != 0 {
+		t.Errorf("post-Close rejection allocated %.0f objects, want 0", allocs)
+	}
+}

@@ -20,6 +20,23 @@ import (
 // that produced it. Match with errors.As(err, *(*BreakdownError)).
 type BreakdownError = chol.BreakdownError
 
+// ErrClosed is the error every solve on a closed Solver returns — the
+// deterministic plain error of the Close contract.
+var ErrClosed = errors.New("native: solver is closed")
+
+// DimensionError reports a request whose block shape does not match the
+// factor. It is returned before any result storage or solver state is
+// touched, so malformed requests cost a server nothing but this small
+// error value.
+type DimensionError struct {
+	What      string // the dimension that was wrong (e.g. "RHS rows")
+	Got, Want int
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("native: %s is %d, want %d", e.What, e.Got, e.Want)
+}
+
 // CancelledError reports a solve aborted by its context before every
 // supernode task completed. Unwrap yields the context's cause, so
 // errors.Is(err, context.Canceled) and errors.Is(err,

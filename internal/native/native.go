@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sptrsv/internal/chol"
@@ -82,16 +83,19 @@ func DefaultOptions() Options { return Options{} }
 // numeric factor. The factor panels are shared read-only between workers;
 // independent Solvers may run concurrently.
 //
-// Reuse contract: a Solver is built for sequential reuse — repeated
+// Reuse contract: a Solver is built for reuse — repeated
 // Solve/SolveCtx/SolveInto calls recycle the solver's internal arena and
 // worker pool, so a warm solver allocates nothing per solve (SolveInto)
-// or only the result block (SolveCtx). The flip side is that a Solver is
-// NOT safe for concurrent solve calls: overlapping solves would share the
-// arena. Serialize solves per Solver, or build one Solver per goroutine.
+// or only the result block (SolveCtx). Solve calls from multiple
+// goroutines are safe but serialized by an internal mutex (overlapping
+// solves would otherwise share the arena); for solve-level parallelism
+// build one Solver per goroutine.
 //
 // A Solver that has run a parallel solve holds its worker goroutines
 // parked until Close is called; an abandoned Solver is cleaned up by a
-// finalizer, so Close is an optimization, not an obligation.
+// finalizer, so Close is an optimization, not an obligation. A server
+// that builds solvers per request, however, must Close them: parked
+// pools pile up until the garbage collector gets around to finalizers.
 type Solver struct {
 	F       *chol.Factor
 	workers int
@@ -110,11 +114,16 @@ type Solver struct {
 	heightOff   []int
 	totalHeight int
 
-	arena     arena
-	pool      *pool
-	poolOnce  sync.Once
-	closeOnce sync.Once
-	closed    bool
+	arena arena
+
+	// mu serializes solves against each other and against Close, and
+	// guards pool creation: Close blocks until an in-flight solve drains,
+	// and a solve that starts after Close deterministically observes
+	// closed and returns ErrClosed. closed is atomic so the allocation-free
+	// rejection paths (SolveCtx validation) can read it without the lock.
+	mu     sync.Mutex
+	pool   *pool
+	closed atomic.Bool
 
 	// cur is the per-solve state the kernels read (why a Solver is not
 	// safe for concurrent solves).
@@ -214,24 +223,31 @@ func (sv *Solver) Workers() int { return sv.workers }
 // aggregation (NSuper when aggregation is disabled).
 func (sv *Solver) Tasks() int { return sv.graph.nTasks }
 
-// Close releases the solver's parked worker goroutines. It must not be
-// called concurrently with a solve; after Close every solve returns an
-// error. Close is idempotent, and an abandoned Solver is closed by a
-// finalizer, so calling it is optional.
+// Close releases the solver's parked worker goroutines. It is safe to
+// call concurrently with a solve: Close blocks until the in-flight solve
+// drains, then shuts the pool down, and every solve that starts after
+// Close returns ErrClosed. Close is idempotent, and an abandoned Solver
+// is closed by a finalizer, so calling it is optional — but a server
+// constructing solvers per request must call it or parked pools
+// accumulate until the next GC cycle.
 func (sv *Solver) Close() {
-	sv.closeOnce.Do(func() {
-		sv.closed = true
-		if sv.pool != nil {
-			close(sv.pool.quit)
-		}
-	})
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed.Swap(true) {
+		return
+	}
+	if sv.pool != nil {
+		close(sv.pool.quit)
+	}
 }
 
-// ensurePool lazily spawns the persistent worker pool.
+// ensurePool lazily spawns the persistent worker pool. The caller holds
+// sv.mu (every solve does), which is what makes the pool field race-free
+// against Close.
 func (sv *Solver) ensurePool() {
-	sv.poolOnce.Do(func() {
+	if sv.pool == nil {
 		sv.pool = newPool(sv.workers, sv.graph.nTasks)
-	})
+	}
 }
 
 // Solve performs the complete forward elimination and back substitution
@@ -254,13 +270,49 @@ func (sv *Solver) Solve(b *sparse.Block) (*sparse.Block, Stats) {
 // wall-clock statistics gathered so far, and an error instead of hanging
 // or lying. It is SolveInto plus one result-block allocation; see
 // SolveInto for the error contract and the zero-allocation path.
+//
+// The right-hand side is validated (and the closed flag checked) before
+// the N×M result block is allocated, so malformed or post-Close requests
+// are rejected without touching the heap — a server under load sheds bad
+// requests for free.
 func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block, Stats, error) {
+	if err := sv.checkRHS(b); err != nil {
+		return nil, sv.baseStats(), err
+	}
 	x := sparse.NewBlock(sv.F.Sym.N, b.M)
 	stats, err := sv.SolveInto(ctx, b, x)
 	if err != nil {
 		return nil, stats, err
 	}
 	return x, stats, nil
+}
+
+// checkRHS validates the right-hand-side block and the solver lifecycle
+// without allocating anything proportional to the problem: the checks a
+// request must pass before any result storage is committed.
+func (sv *Solver) checkRHS(b *sparse.Block) error {
+	if b.N != sv.F.Sym.N {
+		return &DimensionError{What: "RHS rows", Got: b.N, Want: sv.F.Sym.N}
+	}
+	if b.M < 1 {
+		return &DimensionError{What: "RHS columns", Got: b.M, Want: 1}
+	}
+	if sv.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// baseStats returns the schedule-geometry statistics every solve reports,
+// before any sweep has run.
+func (sv *Solver) baseStats() Stats {
+	return Stats{
+		Workers:         sv.workers,
+		Tasks:           sv.graph.nTasks,
+		Supernodes:      sv.F.Sym.NSuper,
+		AggregatedTasks: sv.graph.aggregated,
+		AllocBytes:      sv.arena.bytes,
+	}
 }
 
 // SolveInto is the allocation-free solve: forward elimination and back
@@ -278,7 +330,10 @@ func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block,
 //   - *TaskPanicError: a supernode execution (or hook) panicked; the
 //     scheduler recovered it — naming the supernode even inside an
 //     aggregated subtree task — and unwound instead of deadlocking.
-//   - plain error: dimension mismatch, or the Solver was closed.
+//   - *DimensionError: the RHS or solution block shape does not match
+//     the factor, rejected before any state is touched.
+//   - ErrClosed: the Solver was closed; every post-Close solve returns
+//     exactly this error.
 //
 // On any error the contents of x are unspecified. On the success path
 // SolveInto performs exactly the same floating-point operations in the
@@ -287,22 +342,19 @@ func (sv *Solver) SolveCtx(ctx context.Context, b *sparse.Block) (*sparse.Block,
 // touching.
 func (sv *Solver) SolveInto(ctx context.Context, b, x *sparse.Block) (Stats, error) {
 	sym := sv.F.Sym
-	g := sv.graph
-	stats := Stats{
-		Workers:         sv.workers,
-		Tasks:           g.nTasks,
-		Supernodes:      sym.NSuper,
-		AggregatedTasks: g.aggregated,
-		AllocBytes:      sv.arena.bytes,
-	}
-	if b.N != sym.N {
-		return stats, fmt.Errorf("native: RHS size %d != matrix size %d", b.N, sym.N)
+	stats := sv.baseStats()
+	if err := sv.checkRHS(b); err != nil {
+		return stats, err
 	}
 	if x.N != sym.N || x.M != b.M {
 		return stats, fmt.Errorf("native: solution block %d×%d does not match RHS %d×%d", x.N, x.M, sym.N, b.M)
 	}
-	if sv.closed {
-		return stats, fmt.Errorf("native: solver is closed")
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed.Load() {
+		// Close won the lock between validation and here; the pool is
+		// gone, so refuse deterministically rather than wedge a sweep.
+		return stats, ErrClosed
 	}
 	sv.arena.ensure(sv, b.M)
 	stats.AllocBytes = sv.arena.bytes

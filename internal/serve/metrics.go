@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the server's instrumentation: lock-free atomic counters,
+// gauges, and fixed-bucket histograms updated on the request and batch
+// paths, exposed through a cheap copying Snapshot API. Nothing here
+// allocates on the hot path; Snapshot allocates only its own bucket
+// slices, so operators can poll it at high frequency without perturbing
+// the solver.
+
+// latencyBounds are the request-latency histogram bucket upper bounds
+// (log-spaced from 50µs to 5s; an implicit +Inf bucket catches the rest).
+var latencyBounds = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, 1 * time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, 1 * time.Second, 2500 * time.Millisecond,
+	5 * time.Second,
+}
+
+// widthBounds are the batch-width histogram bucket upper bounds (widths
+// above the last bound land in the implicit overflow bucket).
+var widthBounds = []int{1, 2, 4, 8, 16, 32, 64}
+
+// metrics is the server's internal mutable instrumentation.
+type metrics struct {
+	accepted         atomic.Uint64
+	rejectedOverload atomic.Uint64
+	rejectedInvalid  atomic.Uint64
+	cancelled        atomic.Uint64
+	failed           atomic.Uint64
+	pathNative       atomic.Uint64
+	pathSeqRefine    atomic.Uint64
+
+	batches     atomic.Uint64
+	batchSplits atomic.Uint64
+	widthSum    atomic.Uint64
+	maxWidth    atomic.Int64
+	maxQueue    atomic.Int64
+	widthHist   [8]atomic.Uint64 // len(widthBounds)+1
+
+	latCount atomic.Uint64
+	latSum   atomic.Int64      // nanoseconds
+	latHist  [17]atomic.Uint64 // len(latencyBounds)+1
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	m.latCount.Add(1)
+	m.latSum.Add(int64(d))
+	for i, ub := range latencyBounds {
+		if d <= ub {
+			m.latHist[i].Add(1)
+			return
+		}
+	}
+	m.latHist[len(latencyBounds)].Add(1)
+}
+
+func (m *metrics) observeBatch(width, queued int) {
+	m.batches.Add(1)
+	m.widthSum.Add(uint64(width))
+	maxStore(&m.maxWidth, int64(width))
+	maxStore(&m.maxQueue, int64(queued))
+	for i, ub := range widthBounds {
+		if width <= ub {
+			m.widthHist[i].Add(1)
+			return
+		}
+	}
+	m.widthHist[len(widthBounds)].Add(1)
+}
+
+func maxStore(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Bucket is one histogram bucket in a Snapshot: the count of
+// observations at or below UpperBound. The final bucket of a histogram
+// has UpperBound < 0, meaning +Inf.
+type Bucket struct {
+	UpperBound int64  `json:"upper_bound"` // latency: ns; width: columns; <0 = +Inf
+	Count      uint64 `json:"count"`
+}
+
+// LatencySnapshot is the request-latency histogram at snapshot time.
+// Latency is measured from admission (the request entering the queue) to
+// the reply being handed back — queueing, lingering, and solving
+// included.
+type LatencySnapshot struct {
+	Count   uint64        `json:"count"`
+	Mean    time.Duration `json:"mean_ns"`
+	Buckets []Bucket      `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the histogram,
+// returning the upper bound of the bucket the quantile falls in — a
+// conservative (upward-biased) estimate. Zero observations yield 0.
+func (l LatencySnapshot) Quantile(q float64) time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(l.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range l.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if b.UpperBound < 0 {
+				return latencyBounds[len(latencyBounds)-1] // +Inf bucket: report the last finite bound
+			}
+			return time.Duration(b.UpperBound)
+		}
+	}
+	return time.Duration(l.Buckets[len(l.Buckets)-1].UpperBound)
+}
+
+// Snapshot is a point-in-time copy of the server's instrumentation.
+//
+// Request accounting (each accepted request ends in exactly one of the
+// outcome counters):
+//   - PathNative: answered by the warm native engine — a coalesced batch
+//     sweep or the native rung of a post-split single.
+//   - PathSequentialRefine: answered by the sequential+refine fallback
+//     rung after the native rung failed.
+//   - Cancelled: the requester's context ended first.
+//   - Failed: the degradation ladder was exhausted, or the server closed
+//     with the request still queued.
+//
+// RejectedOverload and RejectedInvalid count requests refused at
+// admission (they are not part of Accepted).
+type Snapshot struct {
+	Accepted             uint64 `json:"accepted"`
+	RejectedOverload     uint64 `json:"rejected_overload"`
+	RejectedInvalid      uint64 `json:"rejected_invalid"`
+	Cancelled            uint64 `json:"cancelled"`
+	Failed               uint64 `json:"failed"`
+	PathNative           uint64 `json:"path_native"`
+	PathSequentialRefine uint64 `json:"path_sequential_refine"`
+
+	Batches        uint64   `json:"batches"`
+	BatchSplits    uint64   `json:"batch_splits"` // batches that failed wholesale and were retried as singles
+	MeanBatchWidth float64  `json:"mean_batch_width"`
+	MaxBatchWidth  int      `json:"max_batch_width"`
+	BatchWidths    []Bucket `json:"batch_widths"`
+
+	QueueDepth    int `json:"queue_depth"`     // gauge: requests waiting right now
+	QueueCap      int `json:"queue_cap"`       // admission limit
+	MaxQueueDepth int `json:"max_queue_depth"` // high-water mark seen at batch formation
+	InFlight      int `json:"in_flight"`       // gauge: admitted requests whose Solve has not returned
+
+	Latency LatencySnapshot `json:"latency"`
+}
+
+// Snapshot returns a consistent-enough copy of the server's counters for
+// dashboards and load generators: each field is read atomically; the set
+// is not a single transaction (the solver is never paused for a read).
+func (s *Server) Snapshot() Snapshot {
+	m := &s.met
+	snap := Snapshot{
+		Accepted:             m.accepted.Load(),
+		RejectedOverload:     m.rejectedOverload.Load(),
+		RejectedInvalid:      m.rejectedInvalid.Load(),
+		Cancelled:            m.cancelled.Load(),
+		Failed:               m.failed.Load(),
+		PathNative:           m.pathNative.Load(),
+		PathSequentialRefine: m.pathSeqRefine.Load(),
+		Batches:              m.batches.Load(),
+		BatchSplits:          m.batchSplits.Load(),
+		MaxBatchWidth:        int(m.maxWidth.Load()),
+		QueueDepth:           len(s.queue),
+		QueueCap:             cap(s.queue),
+		MaxQueueDepth:        int(m.maxQueue.Load()),
+		InFlight:             int(s.inflight.Load()),
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatchWidth = float64(m.widthSum.Load()) / float64(snap.Batches)
+	}
+	snap.BatchWidths = make([]Bucket, len(widthBounds)+1)
+	for i, ub := range widthBounds {
+		snap.BatchWidths[i] = Bucket{UpperBound: int64(ub), Count: m.widthHist[i].Load()}
+	}
+	snap.BatchWidths[len(widthBounds)] = Bucket{UpperBound: -1, Count: m.widthHist[len(widthBounds)].Load()}
+	snap.Latency.Count = m.latCount.Load()
+	if snap.Latency.Count > 0 {
+		snap.Latency.Mean = time.Duration(m.latSum.Load() / int64(snap.Latency.Count))
+	}
+	snap.Latency.Buckets = make([]Bucket, len(latencyBounds)+1)
+	for i, ub := range latencyBounds {
+		snap.Latency.Buckets[i] = Bucket{UpperBound: int64(ub), Count: m.latHist[i].Load()}
+	}
+	snap.Latency.Buckets[len(latencyBounds)] = Bucket{UpperBound: -1, Count: m.latHist[len(latencyBounds)].Load()}
+	return snap
+}

@@ -1,0 +1,454 @@
+// Package serve is the warm-solver serving layer: the production front
+// end that turns a stream of independent single-right-hand-side solve
+// requests into the workload the paper proves is fast — few sweeps over
+// the factor, each carrying many right-hand sides.
+//
+// The paper's headline throughput comes from amortization: one
+// forward/backward sweep over 30 right-hand sides runs at several times
+// the per-RHS rate of 30 separate sweeps, because every factor entry
+// touched does NRHS units of work (the BLAS-3 effect of §5). A server
+// receiving single-RHS requests can only cash that in by coalescing:
+// concurrently arriving requests wait for at most a linger window, are
+// gathered into one N×m block (m bounded by MaxBatch), and ride a single
+// warm SolveInto sweep. The second amortization is the solver itself —
+// the task DAG, scatter maps, arena, and parked worker pool are built
+// once per server, not per request, so the engine's zero-allocation warm
+// path actually engages.
+//
+// Robustness follows the harness degradation ladder, applied per batch:
+// a coalesced sweep that fails (breakdown, panic, cancelled deadline, or
+// a residual above tolerance) is split back into singles, each retried
+// alone through harness.SolveRobustWith under its own context — so one
+// poisoned right-hand side costs its batchmates one retry, never their
+// answers. Admission control is a bounded queue: when it is full the
+// server sheds load with a typed *OverloadError instead of queueing
+// unboundedly, and per-request deadlines propagate into the solve.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/native"
+	"sptrsv/internal/sparse"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers and Grain configure the underlying native solver (see
+	// native.Options).
+	Workers int
+	Grain   int
+	// MaxBatch bounds how many single-RHS requests one sweep may carry; 0
+	// means 30, the paper's measured amortization sweet spot (§5).
+	// MaxBatch 1 disables coalescing (every request solves alone).
+	MaxBatch int
+	// Linger is how long batch formation waits, measured from the first
+	// request of the batch, for more requests to coalesce before sweeping
+	// a partial batch; 0 means 200µs. The window closes early when the
+	// batch is full, and also when it already holds every in-flight
+	// request — once no admitted request remains outside the batch,
+	// lingering longer can only add latency, never width.
+	Linger time.Duration
+	// QueueDepth bounds the admission queue; a request arriving while
+	// QueueDepth requests wait is rejected with *OverloadError. 0 means
+	// 4×MaxBatch.
+	QueueDepth int
+	// Tol is the relative-residual acceptance threshold of the
+	// degradation ladder; 0 means the experiments' default of 1e-10.
+	Tol float64
+	// TaskHook is passed to the native solver. It exists for fault
+	// injection and tracing (package faultinject); production servers
+	// leave it nil.
+	TaskHook native.TaskHook
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 30
+	}
+	if c.Linger <= 0 {
+		c.Linger = 200 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-10
+	}
+}
+
+// ErrServerClosed is returned by Solve on a closed server, and delivered
+// to requests still queued when Close ran.
+var ErrServerClosed = errors.New("serve: server is closed")
+
+// OverloadError is the typed admission-control rejection: the queue was
+// full when the request arrived. Callers should back off or shed load;
+// the request consumed no solver resources.
+type OverloadError struct {
+	QueueDepth int // the admission limit that was hit
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded: admission queue full (%d waiting)", e.QueueDepth)
+}
+
+// result is one request's reply.
+type result struct {
+	x    []float64
+	path harness.Path
+	err  error
+}
+
+// request is one admitted single-RHS solve.
+type request struct {
+	ctx  context.Context
+	rhs  []float64
+	enq  time.Time
+	done chan result // buffered 1: the batcher never blocks on a reply
+}
+
+// batchBlocks is the reusable gather/solution storage for one batch
+// width. Widths repeat heavily under steady load (mostly MaxBatch), so
+// caching per width keeps the steady-state gather path allocation-free
+// and lets the solver arena stay warm.
+type batchBlocks struct {
+	b, x *sparse.Block
+}
+
+// Server owns a warm native solver for one factor and serves coalesced
+// single-RHS solve requests against it. Construct with New, submit with
+// Solve from any number of goroutines, observe with Snapshot, shut down
+// with Close.
+type Server struct {
+	pr  *harness.Prepared
+	cfg Config
+	sv  *native.Solver
+
+	queue chan *request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu        sync.RWMutex // guards closed against racing admissions
+	closed    bool
+	closeOnce sync.Once
+
+	// inflight counts admitted requests whose Solve call has not
+	// returned yet — incremented before the enqueue, decremented by
+	// Solve on every return path. The batcher uses it to stop lingering
+	// as soon as the batch holds every in-flight request (see collect).
+	// Decrementing on the client side (not at reply time) matters: a
+	// client that has been handed a reply but not yet consumed it still
+	// counts, so a closed-loop client about to resubmit holds the next
+	// window open instead of being served solo.
+	inflight atomic.Int64
+
+	met metrics
+
+	// batcher-owned state, touched only by the batcher goroutine.
+	blocks  map[int]*batchBlocks
+	scratch []*request
+}
+
+// New starts a server over the prepared problem pr and its numeric
+// factor f. The server owns the native solver it builds — Close releases
+// it.
+func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		pr:  pr,
+		cfg: cfg,
+		sv: native.NewSolver(f, native.Options{
+			Workers: cfg.Workers, Grain: cfg.Grain, TaskHook: cfg.TaskHook,
+		}),
+		queue:   make(chan *request, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		blocks:  make(map[int]*batchBlocks),
+		scratch: make([]*request, 0, cfg.MaxBatch),
+	}
+	s.wg.Add(1)
+	go s.batcher()
+	return s
+}
+
+// Solver exposes the server's warm solver for diagnostics (worker count,
+// task counts). Solving through it directly bypasses batching and
+// accounting; use Solve.
+func (s *Server) Solver() *native.Solver { return s.sv }
+
+// Solve submits one right-hand side (length N, the matrix order) and
+// blocks until the answer, an error, or ctx ends. The returned slice is
+// owned by the caller. Error taxonomy:
+//   - *OverloadError: rejected at admission, nothing was queued.
+//   - *native.CancelledError: ctx was cancelled or its deadline expired
+//     (errors.Is sees the context cause through it).
+//   - ErrServerClosed: the server was closed before or while handling it.
+//   - anything else: the degradation ladder was exhausted for this RHS.
+func (s *Server) Solve(ctx context.Context, rhs []float64) ([]float64, error) {
+	if len(rhs) != s.pr.Sym.N {
+		s.met.rejectedInvalid.Add(1)
+		return nil, &native.DimensionError{What: "RHS rows", Got: len(rhs), Want: s.pr.Sym.N}
+	}
+	req := &request{ctx: ctx, rhs: rhs, enq: time.Now(), done: make(chan result, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	// Counted before the enqueue so the batcher never observes a queued
+	// request that is missing from the in-flight gauge.
+	s.inflight.Add(1)
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.inflight.Add(-1)
+		s.met.rejectedOverload.Add(1)
+		return nil, &OverloadError{QueueDepth: cap(s.queue)}
+	}
+	s.met.accepted.Add(1)
+	defer s.inflight.Add(-1)
+	select {
+	case r := <-req.done:
+		s.met.observeLatency(time.Since(req.enq))
+		s.account(r.err, r.path)
+		return r.x, r.err
+	case <-ctx.Done():
+		// The batcher may still solve this request; its reply lands in
+		// the buffered channel and is dropped.
+		s.met.observeLatency(time.Since(req.enq))
+		s.met.cancelled.Add(1)
+		return nil, &native.CancelledError{Cause: context.Cause(ctx)}
+	}
+}
+
+// account attributes one completed request to its outcome counter.
+func (s *Server) account(err error, path harness.Path) {
+	switch {
+	case err == nil:
+		if path == PathSequentialRefine {
+			s.met.pathSeqRefine.Add(1)
+		} else {
+			s.met.pathNative.Add(1)
+		}
+	case isCancelled(err):
+		s.met.cancelled.Add(1)
+	default:
+		s.met.failed.Add(1)
+	}
+}
+
+func isCancelled(err error) bool {
+	var ce *native.CancelledError
+	return errors.As(err, &ce)
+}
+
+// Re-exported path names so callers reading Snapshot docs need not
+// import harness.
+const (
+	PathNative           = harness.PathNative
+	PathSequentialRefine = harness.PathSequentialRefine
+)
+
+// Close stops admission, fails still-queued requests with
+// ErrServerClosed, waits for the in-flight batch to finish, and releases
+// the warm solver. It is idempotent and safe to call concurrently with
+// Solve.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		// No admission can be in flight past this point: every Solve
+		// either saw closed under the read lock or finished its enqueue
+		// before we took the write lock — so the drain below is complete.
+		close(s.stop)
+		s.wg.Wait()
+		s.sv.Close()
+	})
+	s.wg.Wait() // concurrent second Close blocks until shutdown finished
+}
+
+// batcher is the single goroutine that forms and serves batches.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			s.drain()
+			return
+		case req := <-s.queue:
+			s.serveBatch(s.collect(req))
+		}
+	}
+}
+
+// reply hands one result back. Every admitted request gets exactly one
+// reply (the done channel is buffered, so an abandoned cancelled
+// request never blocks the batcher). The in-flight gauge is not touched
+// here — the requester's Solve decrements it when it returns.
+func (s *Server) reply(req *request, res result) {
+	req.done <- res
+}
+
+// drain replies ErrServerClosed to everything still queued at shutdown.
+func (s *Server) drain() {
+	for {
+		select {
+		case req := <-s.queue:
+			s.reply(req, result{err: ErrServerClosed})
+		default:
+			return
+		}
+	}
+}
+
+// collect forms one batch: the first request opens a linger window of
+// cfg.Linger; requests arriving inside it join until the batch is full.
+// Two conditions close the window early. A full batch, obviously. And a
+// batch that already holds every in-flight request: when the gauge
+// equals the batch width, every client engaged with the server is
+// already in this batch, so lingering longer can only add latency,
+// never width. (A request mid-admission is counted before it is
+// queued, and a client still digesting its previous reply is counted
+// until its Solve returns — so the check never closes the window on a
+// request that is about to arrive.) Under saturation the linger
+// therefore costs nothing; a lone client is served back-to-back with
+// no linger at all.
+func (s *Server) collect(first *request) []*request {
+	batch := append(s.scratch[:0], first)
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for len(batch) < s.cfg.MaxBatch {
+		if int64(len(batch)) >= s.inflight.Load() {
+			return batch
+		}
+		if timer == nil {
+			timer = time.NewTimer(s.cfg.Linger)
+		}
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch // serve what we have; the main loop will drain
+		}
+	}
+	return batch
+}
+
+// serveBatch runs the degradation ladder for one batch: gather → one
+// warm native sweep → residual verification → scatter; on any failure,
+// split back into singles and retry each through the full per-request
+// ladder.
+func (s *Server) serveBatch(batch []*request) {
+	live := batch[:0]
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			// Cancelled while queued: don't spend sweep width on it.
+			s.reply(req, result{err: &native.CancelledError{Cause: context.Cause(req.ctx)}})
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	m := len(live)
+	n := s.pr.Sym.N
+	s.met.observeBatch(m, len(s.queue))
+	blk := s.blocksFor(m)
+	for j, req := range live {
+		for i, v := range req.rhs {
+			blk.b.Data[i*m+j] = v
+		}
+	}
+	bctx, cancel := batchContext(live)
+	_, err := s.sv.SolveInto(bctx, blk.b, blk.x)
+	if cancel != nil {
+		cancel()
+	}
+	if err == nil && harness.RelResidual(s.pr.A, blk.x, blk.b) <= s.cfg.Tol {
+		for j, req := range live {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = blk.x.Data[i*m+j]
+			}
+			s.reply(req, result{x: x, path: PathNative})
+		}
+		return
+	}
+	// The coalesced sweep failed — breakdown, task panic, deadline, or a
+	// residual miss. One bad right-hand side must not sink its
+	// batchmates: retry each request alone through the full degradation
+	// ladder under its own context. (Post-split solves resize the arena
+	// to width 1 and back; that churn is confined to the failure path.)
+	s.met.batchSplits.Add(1)
+	for _, req := range live {
+		s.solveSingle(req)
+	}
+}
+
+// solveSingle runs one request through harness.SolveRobustWith on the
+// warm solver: native rung first, sequential+refine on failure.
+func (s *Server) solveSingle(req *request) {
+	if req.ctx.Err() != nil {
+		s.reply(req, result{err: &native.CancelledError{Cause: context.Cause(req.ctx)}})
+		return
+	}
+	b := &sparse.Block{N: s.pr.Sym.N, M: 1, Data: req.rhs}
+	res, err := harness.SolveRobustWith(req.ctx, s.pr, s.sv, b, s.cfg.Tol)
+	if err != nil {
+		s.reply(req, result{err: err})
+		return
+	}
+	// res.X is freshly allocated by the ladder (never aliasing req.rhs),
+	// so its backing vector can be handed to the caller directly.
+	s.reply(req, result{x: res.X.Data, path: res.Path})
+}
+
+// blocksFor returns the cached gather/solution blocks for width m.
+func (s *Server) blocksFor(m int) *batchBlocks {
+	if bb, ok := s.blocks[m]; ok {
+		return bb
+	}
+	bb := &batchBlocks{b: sparse.NewBlock(s.pr.Sym.N, m), x: sparse.NewBlock(s.pr.Sym.N, m)}
+	s.blocks[m] = bb
+	return bb
+}
+
+// batchContext bounds the coalesced sweep. Per-request deadlines
+// propagate as the farthest member deadline, so no single member's
+// deadline can cut its batchmates short; a member whose own context ends
+// before the sweep finishes gets its cancellation at reply time, the
+// rest keep their answers. If any member is deadline-free the sweep runs
+// unbounded (like that member asked).
+func batchContext(live []*request) (context.Context, context.CancelFunc) {
+	var max time.Time
+	for _, req := range live {
+		dl, ok := req.ctx.Deadline()
+		if !ok {
+			return context.Background(), nil
+		}
+		if dl.After(max) {
+			max = dl
+		}
+	}
+	return context.WithDeadline(context.Background(), max)
+}

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/faultinject"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
+	"sptrsv/internal/sparse"
+)
+
+func prepGrid(t testing.TB, nx, ny int) (*harness.Prepared, *chol.Factor) {
+	t.Helper()
+	pr := harness.Prepare(mesh.Problem{
+		Name: fmt.Sprintf("grid-%dx%d", nx, ny),
+		A:    mesh.Grid2D(nx, ny), Geom: mesh.Grid2DGeometry(nx, ny),
+	})
+	f, err := chol.Factorize(pr.A, pr.Sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, f
+}
+
+func randRHS(pr *harness.Prepared, seed int64) []float64 {
+	return mesh.RandomRHS(pr.Sym.N, 1, seed).Data
+}
+
+// fireConcurrent submits every rhs concurrently (so they can coalesce)
+// and returns the per-request answers and errors in input order.
+func fireConcurrent(srv *Server, ctxs []context.Context, rhss [][]float64) ([][]float64, []error) {
+	xs := make([][]float64, len(rhss))
+	errs := make([]error, len(rhss))
+	var wg sync.WaitGroup
+	for i := range rhss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			xs[i], errs[i] = srv.Solve(ctxs[i], rhss[i])
+		}(i)
+	}
+	wg.Wait()
+	return xs, errs
+}
+
+func backgroundCtxs(n int) []context.Context {
+	ctxs := make([]context.Context, n)
+	for i := range ctxs {
+		ctxs[i] = context.Background()
+	}
+	return ctxs
+}
+
+// TestBatchedBitwiseIdenticalToIndividual is the batching-correctness
+// pin: answers produced by a coalesced multi-RHS sweep must be bitwise
+// identical to the same requests solved individually on a dedicated
+// single-RHS solver.
+func TestBatchedBitwiseIdenticalToIndividual(t *testing.T) {
+	pr, f := prepGrid(t, 21, 17)
+	// The batcher can outrun concurrent submitters (it serves whoever is
+	// admitted first without waiting for requests it cannot see coming),
+	// so guarantee coalescing by stalling each sweep briefly: whatever
+	// the first sweep picks up, the rest of the requests are admitted
+	// while it runs and must coalesce into the following sweeps. A stall
+	// only sleeps — the arithmetic stays bitwise identical.
+	inj := &faultinject.Injection{
+		Kind: faultinject.KindStall, Phase: native.ForwardPhase,
+		Supernode: 0, Stall: 30 * time.Millisecond,
+	}
+	srv := New(pr, f, Config{MaxBatch: 8, Linger: 20 * time.Millisecond, TaskHook: inj.Hook()})
+	defer srv.Close()
+
+	const k = 16
+	rhss := make([][]float64, k)
+	for i := range rhss {
+		rhss[i] = randRHS(pr, int64(i+1))
+	}
+	xs, errs := fireConcurrent(srv, backgroundCtxs(k), rhss)
+
+	ref := native.NewSolver(f, native.Options{})
+	defer ref.Close()
+	for i := range rhss {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want, _, err := ref.SolveCtx(context.Background(), &sparse.Block{N: pr.Sym.N, M: 1, Data: rhss[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xs[i] {
+			if xs[i][j] != want.Data[j] {
+				t.Fatalf("request %d: served answer differs from individual solve at row %d: %g vs %g",
+					i, j, xs[i][j], want.Data[j])
+			}
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.PathNative != k || snap.PathSequentialRefine != 0 || snap.Failed != 0 {
+		t.Fatalf("healthy load took wrong paths: %+v", snap)
+	}
+	if snap.Batches >= k {
+		t.Fatalf("no coalescing happened: %d batches for %d requests", snap.Batches, k)
+	}
+}
+
+// TestPoisonedRHSDoesNotSinkBatchmates: one NaN right-hand side fails
+// the coalesced sweep's finiteness scan; the split must deliver every
+// healthy batchmate its exact individual answer while only the poisoned
+// request errors.
+func TestPoisonedRHSDoesNotSinkBatchmates(t *testing.T) {
+	pr, f := prepGrid(t, 21, 17)
+	srv := New(pr, f, Config{MaxBatch: 6, Linger: 50 * time.Millisecond})
+	defer srv.Close()
+
+	const k = 6
+	const bad = 2
+	rhss := make([][]float64, k)
+	for i := range rhss {
+		rhss[i] = randRHS(pr, int64(100+i))
+	}
+	rhss[bad][pr.Sym.N/3] = math.NaN()
+	xs, errs := fireConcurrent(srv, backgroundCtxs(k), rhss)
+
+	if errs[bad] == nil {
+		t.Fatal("poisoned RHS produced a success")
+	}
+	ref := native.NewSolver(f, native.Options{})
+	defer ref.Close()
+	for i := range rhss {
+		if i == bad {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("healthy batchmate %d sunk by poisoned RHS: %v", i, errs[i])
+		}
+		want, _, err := ref.SolveCtx(context.Background(), &sparse.Block{N: pr.Sym.N, M: 1, Data: rhss[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xs[i] {
+			if xs[i][j] != want.Data[j] {
+				t.Fatalf("batchmate %d: answer differs at row %d after split", i, j)
+			}
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.BatchSplits == 0 {
+		t.Fatal("poisoned batch was not split")
+	}
+	if snap.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (the poisoned request)", snap.Failed)
+	}
+}
+
+// TestInjectedFaultDegradesPerBatch: a persistent per-supernode injected
+// error kills every native sweep, so each request must degrade through
+// the sequential+refine rung — and still match the answer the plain
+// robust ladder produces for the same fault.
+func TestInjectedFaultDegradesPerBatch(t *testing.T) {
+	pr, f := prepGrid(t, 21, 17)
+	inj := &faultinject.Injection{
+		Kind: faultinject.KindError, Phase: native.ForwardPhase,
+		Supernode: pr.Sym.NSuper / 2,
+	}
+	srv := New(pr, f, Config{MaxBatch: 4, Linger: 20 * time.Millisecond, TaskHook: inj.Hook()})
+	defer srv.Close()
+
+	const k = 8
+	rhss := make([][]float64, k)
+	for i := range rhss {
+		rhss[i] = randRHS(pr, int64(500+i))
+	}
+	xs, errs := fireConcurrent(srv, backgroundCtxs(k), rhss)
+
+	for i := range rhss {
+		if errs[i] != nil {
+			t.Fatalf("request %d: sequential fallback failed: %v", i, errs[i])
+		}
+		res, err := harness.SolveRobust(context.Background(), pr, f,
+			&sparse.Block{N: pr.Sym.N, M: 1, Data: rhss[i]},
+			native.Options{TaskHook: inj.Hook()}, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Path != harness.PathSequentialRefine {
+			t.Fatalf("reference ladder took %q, expected fallback", res.Path)
+		}
+		for j := range xs[i] {
+			if xs[i][j] != res.X.Data[j] {
+				t.Fatalf("request %d: served fallback answer differs at row %d", i, j)
+			}
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.PathNative != 0 || snap.PathSequentialRefine != k {
+		t.Fatalf("path counters %+v, want all %d on sequential+refine", snap, k)
+	}
+	if snap.BatchSplits == 0 {
+		t.Fatal("faulted batches were not split")
+	}
+}
+
+// TestMidBatchCancellation: cancelling one member mid-flight yields a
+// CancelledError for that member only; batchmates get exact answers.
+func TestMidBatchCancellation(t *testing.T) {
+	pr, f := prepGrid(t, 21, 17)
+	// Stall the root supernode long enough for the cancellation to land
+	// mid-sweep.
+	inj := &faultinject.Injection{
+		Kind: faultinject.KindStall, Phase: native.ForwardPhase,
+		Supernode: pr.Sym.NSuper - 1, Stall: 80 * time.Millisecond,
+	}
+	srv := New(pr, f, Config{MaxBatch: 4, Linger: 20 * time.Millisecond, TaskHook: inj.Hook()})
+	defer srv.Close()
+
+	const k = 4
+	const victim = 1
+	rhss := make([][]float64, k)
+	ctxs := backgroundCtxs(k)
+	for i := range rhss {
+		rhss[i] = randRHS(pr, int64(900+i))
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	ctxs[victim] = vctx
+	go func() {
+		time.Sleep(20 * time.Millisecond) // a full batch sweeps immediately; this lands mid-stall
+		vcancel()
+	}()
+	xs, errs := fireConcurrent(srv, ctxs, rhss)
+
+	var ce *native.CancelledError
+	if !errors.As(errs[victim], &ce) {
+		t.Fatalf("cancelled member got %v, want *native.CancelledError", errs[victim])
+	}
+	ref := native.NewSolver(f, native.Options{TaskHook: inj.Hook()})
+	defer ref.Close()
+	for i := range rhss {
+		if i == victim {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("batchmate %d sunk by cancellation: %v", i, errs[i])
+		}
+		want, _, err := ref.SolveCtx(context.Background(), &sparse.Block{N: pr.Sym.N, M: 1, Data: rhss[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xs[i] {
+			if xs[i][j] != want.Data[j] {
+				t.Fatalf("batchmate %d: answer differs at row %d", i, j)
+			}
+		}
+	}
+}
+
+// TestOverloadShedding: with a tiny queue and a stalled solver, excess
+// requests are rejected with the typed overload error and counted.
+func TestOverloadShedding(t *testing.T) {
+	pr, f := prepGrid(t, 15, 15)
+	inj := &faultinject.Injection{
+		Kind: faultinject.KindStall, Phase: native.ForwardPhase,
+		Supernode: 0, Stall: 20 * time.Millisecond,
+	}
+	srv := New(pr, f, Config{MaxBatch: 1, QueueDepth: 2, TaskHook: inj.Hook()})
+	defer srv.Close()
+
+	const k = 12
+	rhss := make([][]float64, k)
+	for i := range rhss {
+		rhss[i] = randRHS(pr, int64(i+1))
+	}
+	_, errs := fireConcurrent(srv, backgroundCtxs(k), rhss)
+
+	var overloaded, served int
+	for _, err := range errs {
+		var oe *OverloadError
+		switch {
+		case err == nil:
+			served++
+		case errors.As(err, &oe):
+			if oe.QueueDepth != 2 {
+				t.Fatalf("overload error reports depth %d, want 2", oe.QueueDepth)
+			}
+			overloaded++
+		default:
+			t.Fatalf("unexpected error under overload: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no request was shed with 12 arrivals against a depth-2 queue")
+	}
+	snap := srv.Snapshot()
+	if snap.RejectedOverload != uint64(overloaded) || snap.Accepted != uint64(served) {
+		t.Fatalf("counters %+v disagree with observed overloaded=%d served=%d", snap, overloaded, served)
+	}
+}
+
+// TestServedGoroutinesFlat is the acceptance pin: ≥1000 served requests
+// must not grow the goroutine count (warm solver, no per-request pools).
+func TestServedGoroutinesFlat(t *testing.T) {
+	pr, f := prepGrid(t, 15, 15)
+	srv := New(pr, f, Config{MaxBatch: 8, Linger: 50 * time.Microsecond})
+	defer srv.Close()
+
+	warm := func(n int) {
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rhs := randRHS(pr, int64(c+1))
+				for i := 0; i < n; i++ {
+					if _, err := srv.Solve(context.Background(), rhs); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	warm(5) // spawn the pool and size the arena before measuring
+	base := runtime.NumGoroutine()
+	warm(300) // 4 clients × 300 = 1200 served requests
+	var now int
+	for wait := 0; wait < 100; wait++ {
+		if now = runtime.NumGoroutine(); now <= base+2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if now > base+2 {
+		t.Fatalf("goroutines grew from %d to %d across 1200 served requests", base, now)
+	}
+	if snap := srv.Snapshot(); snap.PathNative != 1220 {
+		t.Fatalf("PathNative = %d, want 1220", snap.PathNative)
+	}
+}
+
+// TestCloseSemantics: Close is idempotent, rejects new requests, and
+// fails queued ones with ErrServerClosed.
+func TestCloseSemantics(t *testing.T) {
+	pr, f := prepGrid(t, 15, 15)
+	srv := New(pr, f, Config{})
+	rhs := randRHS(pr, 1)
+	if _, err := srv.Solve(context.Background(), rhs); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Solve(context.Background(), rhs); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-Close Solve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestInvalidRHSRejected: a wrong-size request is refused before
+// touching the queue or the solver.
+func TestInvalidRHSRejected(t *testing.T) {
+	pr, f := prepGrid(t, 15, 15)
+	srv := New(pr, f, Config{})
+	defer srv.Close()
+	var de *native.DimensionError
+	if _, err := srv.Solve(context.Background(), make([]float64, pr.Sym.N+1)); !errors.As(err, &de) {
+		t.Fatalf("oversized RHS returned %v, want *native.DimensionError", err)
+	}
+	if snap := srv.Snapshot(); snap.RejectedInvalid != 1 || snap.Accepted != 0 {
+		t.Fatalf("invalid request miscounted: %+v", snap)
+	}
+}
+
+// TestLatencyQuantile sanity-checks the snapshot histogram math.
+func TestLatencyQuantile(t *testing.T) {
+	var m metrics
+	for i := 0; i < 90; i++ {
+		m.observeLatency(40 * time.Microsecond) // first bucket (≤50µs)
+	}
+	for i := 0; i < 10; i++ {
+		m.observeLatency(20 * time.Millisecond) // ≤25ms bucket
+	}
+	snap := LatencySnapshot{Count: m.latCount.Load()}
+	snap.Buckets = make([]Bucket, len(latencyBounds)+1)
+	for i, ub := range latencyBounds {
+		snap.Buckets[i] = Bucket{UpperBound: int64(ub), Count: m.latHist[i].Load()}
+	}
+	snap.Buckets[len(latencyBounds)] = Bucket{UpperBound: -1}
+	if got := snap.Quantile(0.5); got != 50*time.Microsecond {
+		t.Fatalf("p50 = %v, want 50µs", got)
+	}
+	if got := snap.Quantile(0.99); got != 25*time.Millisecond {
+		t.Fatalf("p99 = %v, want 25ms", got)
+	}
+}
