@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson
+.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl
 
 ## check: the tier-1 gate — vet, build, full test suite, and a race-detector
 ## pass over the concurrency-bearing packages (the native shared-memory
@@ -17,11 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve
+	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve ./internal/registry ./internal/transport
 
-## fuzz: short never-panic smoke of the Harwell-Boeing reader (same as CI).
+## fuzz: short never-panic smokes of the Harwell-Boeing reader and the
+## transport solve-body decoder (same as CI).
 fuzz:
 	$(GO) test -fuzz=FuzzReadHarwellBoeing -fuzztime=10s ./internal/sparse
+	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=10s ./internal/transport
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -46,6 +48,24 @@ loadsmoke:
 	$(GO) run ./cmd/solveload -grid2d 31x31 -clients 4 -duration 500ms
 
 ## loadjson: regenerate results/solveload.json (serving throughput vs the
-## per-request baseline on the 2-D grid bench problem).
+## per-request baseline on the 2-D grid bench problem). Run `make loadurl`
+## instead to also capture the network datapoint.
 loadjson:
 	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s -json results/solveload.json
+
+## servesmoke: daemon smoke (the CI step) — build the real solved binary,
+## start it, ingest GRID2D-15x15 over HTTP, one solve round-trip, scrape
+## /metrics, SIGTERM, require a clean drain.
+servesmoke:
+	$(GO) test -run TestDaemonSmoke -count=1 -v ./cmd/solved
+
+## loadurl: regenerate results/solveload.json including the network
+## datapoint — starts a loopback solved daemon, points solveload at it,
+## and shuts the daemon down afterwards.
+loadurl:
+	$(GO) build -o /tmp/sptrsv-solved ./cmd/solved
+	/tmp/sptrsv-solved -addr 127.0.0.1:18035 & \
+	SOLVED_PID=$$!; sleep 1; \
+	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s \
+		-url http://127.0.0.1:18035 -json results/solveload.json; \
+	STATUS=$$?; kill -TERM $$SOLVED_PID; wait $$SOLVED_PID; exit $$STATUS

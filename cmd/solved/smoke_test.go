@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/transport"
+)
+
+// TestDaemonSmoke is the `make servesmoke` job: build the real solved
+// binary, start it on an ephemeral port, ingest GRID2D-15x15 over HTTP,
+// run one solve round-trip, verify the answer against the in-process
+// pipeline, scrape /metrics, then SIGTERM and require a clean drain.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke in -short mode")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("smoke relies on SIGTERM semantics")
+	}
+
+	bin := filepath.Join(t.TempDir(), "solved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building solved: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op after the clean Wait below
+
+	// The first stdout line announces the resolved listen address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line from solved; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Ingest GRID2D-15x15 and wait for residency.
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/matrix/smoke?wait=1",
+		strings.NewReader(`{"grid2d":"15x15"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d (%s)", resp.StatusCode, body)
+	}
+
+	// One solve round-trip; cross-check the answer against the same
+	// pipeline run in-process (both paths are deterministic).
+	pr := harness.Prepare(mesh.Problem{
+		Name: "smoke", A: mesh.Grid2D(15, 15), Geom: mesh.Grid2DGeometry(15, 15),
+	})
+	rhs := mesh.RandomRHS(pr.Sym.N, 1, 42)
+	resp, err = client.Post(base+"/v1/solve/smoke", "application/octet-stream",
+		bytes.NewReader(transport.EncodeBlock(nil, rhs)))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d (%s)", resp.StatusCode, out)
+	}
+	x, err := transport.DecodeBlock(out)
+	if err != nil {
+		t.Fatalf("decoding solution: %v", err)
+	}
+	if r := harness.RelResidual(pr.A, x, rhs); !(r <= 1e-10) {
+		t.Fatalf("daemon solution residual %g, want ≤ 1e-10", r)
+	}
+
+	// Scrape /metrics and check the solve is visible.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sptrsv_registry_resident_matrices 1",
+		`sptrsv_serve_accepted_total{matrix="smoke"} 1`,
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("solved exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("solved did not drain within 30s of SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Fatalf("no drain log line; stderr:\n%s", stderr.String())
+	}
+}

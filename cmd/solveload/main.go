@@ -7,6 +7,13 @@
 // ways. This is the serving analogue of the paper's §5 NRHS sweep: the
 // speedup column is amortization made visible.
 //
+// With -url the same closed loop additionally drives a running solved
+// daemon (cmd/solved) over HTTP: the matrix is ingested at the daemon
+// under the problem's name, then the clients hammer POST /v1/solve with
+// the binary wire format — measuring the network serving path next to
+// the in-process one, so results/solveload.json carries both
+// datapoints.
+//
 // With -json the run is recorded as a BENCH_JSON document (throughput,
 // latency quantiles, path counters, batch-shape statistics) suitable for
 // committing under results/.
@@ -16,17 +23,23 @@
 //	solveload -grid2d 63x63 -clients 8 -duration 3s -json results/solveload.json
 //	solveload -grid2d 31x31 -clients 4 -duration 300ms -nobaseline
 //	solveload -grid2d 63x63 -inject nan:40 -duration 1s   # overload/fault drill
+//	solveload -grid2d 63x63 -url http://127.0.0.1:8035    # + network datapoint
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +52,7 @@ import (
 	"sptrsv/internal/native"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/sparse"
+	"sptrsv/internal/transport"
 )
 
 type sideReport struct {
@@ -64,6 +78,8 @@ type report struct {
 	Baseline   *sideReport    `json:"baseline,omitempty"`
 	Served     sideReport     `json:"served"`
 	Speedup    float64        `json:"speedup,omitempty"` // served/baseline solves-per-sec
+	Network    *sideReport    `json:"network,omitempty"` // same closed loop over HTTP (-url)
+	NetworkURL string         `json:"network_url,omitempty"`
 	Snapshot   serve.Snapshot `json:"snapshot"`
 }
 
@@ -84,6 +100,7 @@ func main() {
 		tol        = flag.Float64("tol", 1e-10, "residual tolerance of the degradation ladder")
 		noBaseline = flag.Bool("nobaseline", false, "skip the per-request SolveRobust baseline side")
 		inject     = flag.String("inject", "", "fault drill: faultinject spec (panic:S | error:S | stall:S:DUR | nan:S) active on the served side")
+		urlFlag    = flag.String("url", "", "also drive a running solved daemon at this base URL (ingests the matrix, then closed-loops POST /v1/solve)")
 		jsonPath   = flag.String("json", "", "write the BENCH_JSON report here (\"1\" = results/solveload.json)")
 	)
 	flag.Parse()
@@ -162,6 +179,19 @@ func main() {
 		fmt.Printf("  serving speedup over per-request SolveRobust: %.2f×\n", rep.Speedup)
 	}
 
+	if *urlFlag != "" {
+		net, err := runNetworkSide(pr, *problem, *grid2d, *urlFlag, *clients, *duration, *reqTimeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Network = &net
+		rep.NetworkURL = *urlFlag
+		fmt.Printf("network  (solved daemon via HTTP)  : %8.1f solves/sec  (%d requests, %d errors, %d shed)\n",
+			net.SolvesPerSec, net.Requests, net.Errors, net.Overloaded)
+		fmt.Printf("  latency (client-observed): p50 %.3gms, p95 %.3gms, p99 %.3gms\n",
+			net.P50Ms, net.P95Ms, net.P99Ms)
+	}
+
 	if *jsonPath != "" {
 		path := *jsonPath
 		if path == "1" {
@@ -178,10 +208,110 @@ func main() {
 	}
 }
 
+// runNetworkSide drives the same closed loop against a running solved
+// daemon: the matrix is ingested under the problem's name (singleflight
+// on the daemon side makes re-runs cheap), then each client closed-loops
+// POST /v1/solve with the binary wire format. Latency quantiles are
+// client-observed — the network side has no in-process snapshot.
+func runNetworkSide(pr *harness.Prepared, problem, grid2d, baseURL string, clients int, d, reqTimeout time.Duration) (sideReport, error) {
+	spec := fmt.Sprintf(`{"grid2d":%q}`, strings.ToLower(grid2d))
+	if problem != "" {
+		spec = fmt.Sprintf(`{"problem":%q}`, problem)
+	}
+	ingestURL := strings.TrimRight(baseURL, "/") + "/v1/matrix/" + url.PathEscape(pr.Name) + "?wait=1"
+	req, err := http.NewRequest(http.MethodPut, ingestURL, strings.NewReader(spec))
+	if err != nil {
+		return sideReport{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return sideReport{}, fmt.Errorf("ingesting %s at daemon: %w", pr.Name, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sideReport{}, fmt.Errorf("ingesting %s at daemon: %d (%s)", pr.Name, resp.StatusCode, body)
+	}
+	fmt.Printf("ingested %s at %s\n", pr.Name, baseURL)
+
+	solveURL := strings.TrimRight(baseURL, "/") + "/v1/solve/" + url.PathEscape(pr.Name)
+	var rec latRecorder
+	rep := runSideRec(pr, clients, d, reqTimeout, &rec, func(ctx context.Context, rhs []float64) error {
+		b := transport.EncodeBlock(nil, &sparse.Block{N: pr.Sym.N, M: 1, Data: rhs})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, solveURL, bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			x, err := transport.DecodeBlock(out)
+			if err != nil {
+				return err
+			}
+			if x.N != pr.Sym.N || x.M != 1 {
+				return fmt.Errorf("daemon returned a %dx%d solution, want %dx1", x.N, x.M, pr.Sym.N)
+			}
+			return nil
+		case http.StatusTooManyRequests:
+			return &serve.OverloadError{}
+		default:
+			return fmt.Errorf("solve: %d (%s)", resp.StatusCode, out)
+		}
+	})
+	rep.P50Ms = rec.quantileMs(0.50)
+	rep.P95Ms = rec.quantileMs(0.95)
+	rep.P99Ms = rec.quantileMs(0.99)
+	return rep, nil
+}
+
+// latRecorder collects client-observed request latencies so the network
+// side can report quantiles without a server-side snapshot.
+type latRecorder struct {
+	mu sync.Mutex
+	ms []float64
+}
+
+func (r *latRecorder) add(d time.Duration) {
+	r.mu.Lock()
+	r.ms = append(r.ms, float64(d)/float64(time.Millisecond))
+	r.mu.Unlock()
+}
+
+// quantileMs returns the q-quantile of the recorded latencies in
+// milliseconds (0 when nothing was recorded).
+func (r *latRecorder) quantileMs(q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ms) == 0 {
+		return 0
+	}
+	sort.Float64s(r.ms)
+	i := int(q * float64(len(r.ms)))
+	if i >= len(r.ms) {
+		i = len(r.ms) - 1
+	}
+	return r.ms[i]
+}
+
 // runSide drives one closed loop: clients goroutines each cycling through
 // a private set of right-hand sides, submitting as fast as answers come
 // back, until the duration elapses.
 func runSide(pr *harness.Prepared, clients int, d, reqTimeout time.Duration, solve func(context.Context, []float64) error) sideReport {
+	return runSideRec(pr, clients, d, reqTimeout, nil, solve)
+}
+
+// runSideRec is runSide with an optional client-side latency recorder.
+func runSideRec(pr *harness.Prepared, clients int, d, reqTimeout time.Duration, rec *latRecorder, solve func(context.Context, []float64) error) sideReport {
 	var requests, errs, overloaded atomic.Uint64
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
@@ -201,7 +331,11 @@ func runSide(pr *harness.Prepared, clients int, d, reqTimeout time.Duration, sol
 				if reqTimeout > 0 {
 					ctx, cancel = context.WithTimeout(ctx, reqTimeout)
 				}
+				t0 := time.Now()
 				err := solve(ctx, rhss[i%len(rhss)])
+				if rec != nil {
+					rec.add(time.Since(t0))
+				}
 				if cancel != nil {
 					cancel()
 				}

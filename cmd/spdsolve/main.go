@@ -13,7 +13,11 @@
 // With -serve the problem is stood up behind the internal/serve serving
 // layer instead: -nrhs concurrent clients push single-RHS requests
 // through the coalescing server for a short demo run, and the server's
-// metrics snapshot is printed.
+// metrics snapshot is printed. Adding -listen turns the demo into a
+// one-matrix daemon: the prepared problem is registered in an
+// internal/registry and exposed over HTTP (internal/transport) at the
+// given address until SIGINT/SIGTERM — the single-matrix cousin of
+// cmd/solved.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 //	spdsolve -cube 12 -p 8 -nrhs 30
 //	spdsolve -grid2d 63x63 -native -p 8 -timeout 30s
 //	spdsolve -grid2d 63x63 -serve -nrhs 8
+//	spdsolve -grid2d 63x63 -serve -listen :8035
 package main
 
 import (
@@ -29,10 +34,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sptrsv/internal/chol"
@@ -40,9 +50,11 @@ import (
 	"sptrsv/internal/mesh"
 	"sptrsv/internal/native"
 	"sptrsv/internal/order"
+	"sptrsv/internal/registry"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/symbolic"
+	"sptrsv/internal/transport"
 )
 
 func main() {
@@ -62,6 +74,7 @@ func main() {
 		exact       = flag.Bool("exact", false, "disable supernode amalgamation")
 		nativeRun   = flag.Bool("native", false, "solve with the hardened native shared-memory path (workers = -p) instead of the simulator")
 		serveRun    = flag.Bool("serve", false, "demo the serving layer: -nrhs concurrent clients through the coalescing server")
+		listen      = flag.String("listen", "", "with -serve: expose the prepared matrix over HTTP at this address until SIGINT (one-matrix daemon)")
 		timeout     = flag.Duration("timeout", 0, "overall solve deadline (0 = none)")
 	)
 	flag.Parse()
@@ -103,7 +116,13 @@ func main() {
 		return
 	}
 	if *serveRun {
-		if err := runServeDemo(ctx, pr, *p, *nrhs); err != nil {
+		var err error
+		if *listen != "" {
+			err = runServeListen(pr, *p, *listen)
+		} else {
+			err = runServeDemo(ctx, pr, *p, *nrhs)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -214,6 +233,48 @@ func runServeDemo(ctx context.Context, pr *harness.Prepared, workers, clients in
 	fmt.Printf("  latency                 : mean %s, p50 %s, p99 %s\n",
 		snap.Latency.Mean.Round(time.Microsecond),
 		snap.Latency.Quantile(0.50), snap.Latency.Quantile(0.99))
+	return nil
+}
+
+// runServeListen registers the prepared matrix in a one-entry registry
+// and serves it over HTTP until SIGINT/SIGTERM — the single-matrix
+// flavour of cmd/solved (same endpoints, same wire format).
+func runServeListen(pr *harness.Prepared, workers int, addr string) error {
+	reg := registry.New(registry.Config{Serve: serve.Config{Workers: workers}})
+	if err := reg.Register(pr.Name, registry.PreparedSource(pr)); err != nil {
+		return err
+	}
+	h, err := reg.AcquireWait(pr.Name, nil)
+	if err != nil {
+		return err
+	}
+	h.Release()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s\n", pr.Name, ln.Addr())
+	fmt.Printf("  solve  : POST http://%s/v1/solve/%s\n", ln.Addr(), url.PathEscape(pr.Name))
+	fmt.Printf("  metrics: GET  http://%s/metrics\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: transport.New(reg)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("received %s; draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close()
+	}
+	reg.Close()
 	return nil
 }
 

@@ -65,4 +65,5 @@ func (a *arena) ensure(sv *Solver, m int) {
 	a.bytes = int64(len(a.slab))*8 +
 		int64(len(a.deps))*4 +
 		int64(len(a.scratch))*int64(sv.b*m)*8
+	sv.arenaFootprint.Store(a.bytes)
 }

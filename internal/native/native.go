@@ -125,6 +125,13 @@ type Solver struct {
 	pool   *pool
 	closed atomic.Bool
 
+	// arenaFootprint mirrors arena.bytes for lock-free readers: it is
+	// stored by arena.ensure (which runs under mu) and read by
+	// ArenaBytes without taking the solve lock, so capacity accounting
+	// (the matrix registry's resident-bytes budget) never blocks behind
+	// an in-flight solve.
+	arenaFootprint atomic.Int64
+
 	// cur is the per-solve state the kernels read (why a Solver is not
 	// safe for concurrent solves).
 	cur struct {
@@ -222,6 +229,12 @@ func (sv *Solver) Workers() int { return sv.workers }
 // Tasks returns the number of scheduler tasks per sweep after subtree
 // aggregation (NSuper when aggregation is disabled).
 func (sv *Solver) Tasks() int { return sv.graph.nTasks }
+
+// ArenaBytes returns the current footprint of the solver's reusable
+// arena — 0 before the first solve, then the Stats.AllocBytes of the
+// most recent width. It is safe to call concurrently with a solve and
+// never blocks behind one.
+func (sv *Solver) ArenaBytes() int64 { return sv.arenaFootprint.Load() }
 
 // Close releases the solver's parked worker goroutines. It is safe to
 // call concurrently with a solve: Close blocks until the in-flight solve

@@ -1,0 +1,564 @@
+// Package registry is the multi-matrix layer of the serving stack: a
+// named collection of prepared systems, each carrying its symbolic
+// analysis, numeric Cholesky factor, and a warm serve.Server — the
+// "factor once, then stream solve traffic at it" shape the network
+// daemon (internal/transport, cmd/solved) serves from.
+//
+// Lifecycle of one matrix id: building → resident → (draining →)
+// evicted. Register starts a background build (ordering, symbolic
+// analysis, numeric factorization, server construction); duplicate
+// Registers of an id that is already building or resident are
+// singleflighted onto the existing entry instead of factoring twice.
+// Acquire hands out a ref-counted Handle to a resident entry; the
+// typed sentinel errors ErrBuilding, ErrNotFound, and ErrEvicted
+// distinguish "come back soon" from "never heard of it" from "was here,
+// re-ingest it".
+//
+// Residency is bounded by Config.MaxResidentBytes: each resident entry
+// is charged its factor nonzeros (8 bytes each) plus the live arena
+// footprint of its warm solver, and when the total exceeds the budget
+// the least-recently-acquired entries are evicted until it fits (the
+// entry that just finished building is protected, so a single matrix
+// larger than the whole budget still serves). Eviction never tears down
+// a server under an in-flight solve: an evicted entry with outstanding
+// Handles drains — it leaves the table and the byte accounting
+// immediately, but its serve.Server is closed exactly once, by the last
+// Release.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sptrsv/internal/chol"
+	"sptrsv/internal/harness"
+	"sptrsv/internal/serve"
+)
+
+// Typed registry states surfaced as errors (the transport layer maps
+// them onto HTTP status codes).
+var (
+	// ErrNotFound: the id has never been registered (or the registry
+	// restarted); the caller should ingest the matrix.
+	ErrNotFound = errors.New("registry: matrix not found")
+	// ErrBuilding: the id is registered and its factorization is still
+	// running; retry shortly.
+	ErrBuilding = errors.New("registry: matrix is still building")
+	// ErrEvicted: the id was resident and was evicted to fit the
+	// resident-bytes budget; re-register to rebuild it.
+	ErrEvicted = errors.New("registry: matrix was evicted")
+	// ErrClosed: the registry is shutting down; no new builds or
+	// acquisitions are admitted.
+	ErrClosed = errors.New("registry: closed")
+)
+
+// BuildError wraps a failed background build; Acquire returns it for the
+// failed id until the id is re-registered (which retries the build).
+type BuildError struct {
+	ID  string
+	Err error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("registry: build of %q failed: %v", e.ID, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// Config tunes a Registry.
+type Config struct {
+	// MaxResidentBytes bounds the total resident footprint (factor
+	// nonzeros + solver arenas, see Stats.ResidentBytes); 0 means
+	// unlimited.
+	MaxResidentBytes int64
+	// Serve is the configuration template for every per-matrix
+	// serve.Server the registry constructs.
+	Serve serve.Config
+}
+
+// state is one entry's position in the lifecycle.
+type state int
+
+const (
+	stateBuilding state = iota
+	stateResident
+	stateEvicted // tombstone: also the terminal state of a drained entry
+	stateFailed  // build failed; tombstone carrying the build error
+)
+
+func (s state) String() string {
+	switch s {
+	case stateBuilding:
+		return "building"
+	case stateResident:
+		return "resident"
+	case stateEvicted:
+		return "evicted"
+	case stateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// entry is one registered matrix. All fields are guarded by the
+// registry mutex except pr/f/srv, which are written once before the
+// entry becomes resident (built closes after the write) and read-only
+// thereafter.
+type entry struct {
+	id    string
+	state state
+	built chan struct{} // closed when the build finishes, either way
+	err   error         // build failure, set before built closes
+
+	pr  *harness.Prepared
+	f   *chol.Factor
+	srv *serve.Server
+
+	baseBytes int64  // factor nonzeros × 8, charged while resident or draining
+	refs      int    // outstanding Handles
+	lastUse   uint64 // LRU clock value of the most recent Acquire
+	draining  bool   // evicted with refs > 0: last Release closes srv
+	closed    bool   // srv.Close has run (exactly-once guard)
+}
+
+// bytes is the entry's charge against the resident budget. The arena
+// part is live: it grows after the first solve sizes the arena, so a
+// matrix is accounted at its true serving footprint, not its
+// just-built one.
+func (e *entry) bytes() int64 {
+	b := e.baseBytes
+	if e.srv != nil {
+		b += e.srv.Solver().ArenaBytes()
+	}
+	return b
+}
+
+// Registry is a concurrency-safe named registry of prepared systems.
+// Construct with New; shut down with Close.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when refs drop (Close waits on it)
+	entries map[string]*entry
+	clock   uint64 // LRU clock, incremented per Acquire
+	closed  bool
+
+	evictions     uint64
+	buildFailures uint64
+	wg            sync.WaitGroup // in-flight build goroutines
+}
+
+// New constructs an empty registry.
+func New(cfg Config) *Registry {
+	r := &Registry{cfg: cfg, entries: make(map[string]*entry)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Register starts a background build of src under the given id and
+// returns immediately. It is a singleflight: if id is already building
+// or resident, the existing entry is kept and no second factorization
+// runs. A failed or evicted id is re-registered (the tombstone is
+// replaced and the build retried). Returns ErrClosed after Close.
+func (r *Registry) Register(id string, src Source) error {
+	if id == "" {
+		return fmt.Errorf("registry: empty matrix id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if e, ok := r.entries[id]; ok && (e.state == stateBuilding || e.state == stateResident) {
+		return nil // singleflight: a usable entry already exists
+	}
+	e := &entry{id: id, state: stateBuilding, built: make(chan struct{})}
+	r.entries[id] = e
+	r.wg.Add(1)
+	go r.build(e, src)
+	return nil
+}
+
+// build runs one background factorization and publishes the result.
+func (r *Registry) build(e *entry, src Source) {
+	defer r.wg.Done()
+	pr, f, err := src.Build()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer close(e.built)
+	if r.entries[e.id] != e {
+		// Superseded (re-registered) or removed while building; discard.
+		e.state = stateEvicted
+		e.err = ErrEvicted
+		return
+	}
+	if err == nil && r.closed {
+		err = ErrClosed
+	}
+	if err != nil {
+		e.state = stateFailed
+		e.err = &BuildError{ID: e.id, Err: err}
+		r.buildFailures++
+		return
+	}
+	e.pr, e.f = pr, f
+	e.srv = serve.New(pr, f, r.cfg.Serve)
+	e.baseBytes = f.NnzL() * 8
+	e.state = stateResident
+	e.lastUse = r.tick()
+	r.evictOverBudget(e)
+}
+
+func (r *Registry) tick() uint64 {
+	r.clock++
+	return r.clock
+}
+
+// Handle is a ref-counted lease on one resident matrix. The server it
+// exposes stays alive — even across an eviction — until Release.
+type Handle struct {
+	reg      *Registry
+	e        *entry
+	released bool
+	mu       sync.Mutex
+}
+
+// ID returns the matrix id the handle leases.
+func (h *Handle) ID() string { return h.e.id }
+
+// Server returns the matrix's warm coalescing server.
+func (h *Handle) Server() *serve.Server { return h.e.srv }
+
+// Prepared returns the matrix's prepared problem (symbolic analysis,
+// permuted matrix).
+func (h *Handle) Prepared() *harness.Prepared { return h.e.pr }
+
+// Factor returns the matrix's numeric Cholesky factor.
+func (h *Handle) Factor() *chol.Factor { return h.e.f }
+
+// Release returns the lease. Idempotent. If the entry was evicted while
+// this handle was out, the last Release closes its server (exactly
+// once) — in-flight solves through Server() therefore always finish
+// before teardown.
+func (h *Handle) Release() {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return
+	}
+	h.released = true
+	h.mu.Unlock()
+	h.reg.release(h.e)
+}
+
+// release drops one ref and performs any deferred teardown.
+func (r *Registry) release(e *entry) {
+	r.mu.Lock()
+	e.refs--
+	var toClose *serve.Server
+	if e.refs == 0 && e.draining && !e.closed {
+		e.closed = true
+		e.draining = false
+		toClose = e.srv
+	}
+	// A Release can also shrink effective pressure ordering; use the
+	// opportunity to re-check the budget (arenas grow after first use).
+	if e.refs == 0 && e.state == stateResident {
+		r.evictOverBudget(nil)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if toClose != nil {
+		toClose.Close()
+	}
+}
+
+// Acquire leases the resident matrix id. The error is one of the typed
+// states: ErrNotFound, ErrBuilding, ErrEvicted, ErrClosed, or a
+// *BuildError for an id whose background build failed.
+func (r *Registry) Acquire(id string) (*Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch e.state {
+	case stateBuilding:
+		return nil, ErrBuilding
+	case stateEvicted:
+		return nil, ErrEvicted
+	case stateFailed:
+		return nil, e.err
+	}
+	e.refs++
+	e.lastUse = r.tick()
+	return &Handle{reg: r, e: e}, nil
+}
+
+// AcquireWait is Acquire for callers willing to wait out a build: if id
+// is building it blocks until the build finishes (or done is closed),
+// then acquires. done nil means wait indefinitely.
+func (r *Registry) AcquireWait(id string, done <-chan struct{}) (*Handle, error) {
+	for {
+		h, err := r.Acquire(id)
+		if !errors.Is(err, ErrBuilding) {
+			return h, err
+		}
+		r.mu.Lock()
+		e := r.entries[id]
+		r.mu.Unlock()
+		if e == nil {
+			continue // re-registered concurrently; re-resolve
+		}
+		select {
+		case <-e.built:
+		case <-done:
+			return nil, ErrBuilding
+		}
+	}
+}
+
+// Evict removes id from the registry. A resident entry with no
+// outstanding handles is torn down immediately; one with in-flight
+// solves drains (teardown happens at the last Release). Returns
+// ErrNotFound for an unknown id.
+func (r *Registry) Evict(id string) error {
+	r.mu.Lock()
+	e, ok := r.entries[id]
+	if !ok || e.state == stateEvicted {
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		return ErrNotFound
+	}
+	toClose := r.evictLocked(e)
+	r.mu.Unlock()
+	if toClose != nil {
+		toClose.Close()
+	}
+	return nil
+}
+
+// evictLocked transitions e to evicted (or draining) under r.mu and
+// returns the server to close once the lock is released, if teardown is
+// due now.
+func (r *Registry) evictLocked(e *entry) *serve.Server {
+	switch e.state {
+	case stateResident:
+		r.evictions++
+		e.state = stateEvicted
+		if e.refs > 0 {
+			e.draining = true // last Release closes
+			return nil
+		}
+		if !e.closed {
+			e.closed = true
+			return e.srv
+		}
+	case stateBuilding:
+		// Leave the build to discover the tombstone when it publishes.
+		delete(r.entries, e.id)
+	case stateFailed:
+		e.state = stateEvicted
+	}
+	return nil
+}
+
+// evictOverBudget enforces MaxResidentBytes under r.mu: while the
+// resident total exceeds the budget, the least-recently-acquired
+// resident entry other than protect is evicted. Draining entries have
+// already left the accounting; protect (the entry that just finished
+// building) is exempt so one oversized matrix cannot evict itself.
+// Servers due for teardown are closed on a goroutine — Close waits for
+// the in-flight batch, which must not run under the registry lock.
+func (r *Registry) evictOverBudget(protect *entry) {
+	if r.cfg.MaxResidentBytes <= 0 {
+		return
+	}
+	for {
+		var total int64
+		var lru *entry
+		resident := 0
+		for _, e := range r.entries {
+			if e.state != stateResident {
+				continue
+			}
+			resident++
+			total += e.bytes()
+			if e == protect {
+				continue
+			}
+			if lru == nil || e.lastUse < lru.lastUse {
+				lru = e
+			}
+		}
+		// Floor of one: a single resident matrix is never budget-evicted,
+		// even when it alone exceeds the budget — an empty registry serves
+		// nothing, which is strictly worse.
+		if total <= r.cfg.MaxResidentBytes || lru == nil || resident <= 1 {
+			return
+		}
+		if srv := r.evictLocked(lru); srv != nil {
+			go srv.Close()
+		}
+	}
+}
+
+// Status reports one matrix's lifecycle position without acquiring it.
+func (r *Registry) Status(id string) (MatrixStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return MatrixStatus{}, ErrNotFound
+	}
+	return r.statusLocked(e), nil
+}
+
+func (r *Registry) statusLocked(e *entry) MatrixStatus {
+	st := MatrixStatus{ID: e.id, State: e.state.String(), Refs: e.refs}
+	if e.draining {
+		st.State = "draining"
+	}
+	if e.err != nil {
+		st.Error = e.err.Error()
+	}
+	if e.pr != nil {
+		st.N = e.pr.Sym.N
+		st.NnzL = e.pr.Sym.NnzL
+	}
+	if e.state == stateResident || e.draining {
+		st.Bytes = e.bytes()
+	}
+	return st
+}
+
+// MatrixStatus is one entry's externally visible state.
+type MatrixStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // building | resident | draining | evicted | failed
+	N     int    `json:"n,omitempty"`
+	NnzL  int64  `json:"nnz_l,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	Refs  int    `json:"refs,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Stats are the registry-level gauges the metrics endpoint exports.
+type Stats struct {
+	Resident      int   `json:"resident"`
+	Building      int   `json:"building"`
+	Draining      int   `json:"draining"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	// MaxResidentBytes echoes the configured budget (0 = unlimited).
+	MaxResidentBytes int64  `json:"max_resident_bytes"`
+	Evictions        uint64 `json:"evictions"`
+	BuildFailures    uint64 `json:"build_failures"`
+}
+
+// Stats returns the registry gauges.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{MaxResidentBytes: r.cfg.MaxResidentBytes,
+		Evictions: r.evictions, BuildFailures: r.buildFailures}
+	for _, e := range r.entries {
+		switch {
+		case e.state == stateBuilding:
+			st.Building++
+		case e.state == stateResident:
+			st.Resident++
+			st.ResidentBytes += e.bytes()
+		case e.draining:
+			st.Draining++
+		}
+	}
+	return st
+}
+
+// List returns the status of every entry (including tombstones), sorted
+// order unspecified.
+func (r *Registry) List() []MatrixStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MatrixStatus, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, r.statusLocked(e))
+	}
+	return out
+}
+
+// Resident returns the ids of all resident matrices (the set /metrics
+// renders serve snapshots for) paired with their servers' snapshots.
+func (r *Registry) Resident() []ResidentSnapshot {
+	r.mu.Lock()
+	var ents []*entry
+	for _, e := range r.entries {
+		if e.state == stateResident || e.draining {
+			ents = append(ents, e)
+		}
+	}
+	r.mu.Unlock()
+	// Snapshots are taken outside the lock: they touch the servers'
+	// atomics only.
+	out := make([]ResidentSnapshot, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, ResidentSnapshot{ID: e.id, Serve: e.srv.Snapshot()})
+	}
+	return out
+}
+
+// ResidentSnapshot pairs a matrix id with its server's metrics snapshot.
+type ResidentSnapshot struct {
+	ID    string         `json:"id"`
+	Serve serve.Snapshot `json:"serve"`
+}
+
+// Close shuts the registry down: no new Registers or Acquires are
+// admitted, every resident server is closed (after outstanding handles
+// release), and Close blocks until in-flight builds and drains finish.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		// Wait for the first Close to finish the drain, then return.
+		for r.liveRefs() > 0 {
+			r.cond.Wait()
+		}
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	var toClose []*serve.Server
+	for _, e := range r.entries {
+		if e.state == stateResident {
+			if srv := r.evictLocked(e); srv != nil {
+				toClose = append(toClose, srv)
+			}
+		}
+	}
+	for r.liveRefs() > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+	for _, srv := range toClose {
+		srv.Close()
+	}
+	r.wg.Wait()
+}
+
+// liveRefs counts outstanding handles across all entries (r.mu held).
+func (r *Registry) liveRefs() int {
+	n := 0
+	for _, e := range r.entries {
+		n += e.refs
+	}
+	return n
+}

@@ -102,28 +102,43 @@ type LatencySnapshot struct {
 	Buckets []Bucket      `json:"buckets"`
 }
 
-// Quantile estimates the q-quantile (0 < q ≤ 1) from the histogram,
-// returning the upper bound of the bucket the quantile falls in — a
-// conservative (upward-biased) estimate. Zero observations yield 0.
+// Quantile estimates the q-quantile from the histogram, returning the
+// upper bound of the bucket the quantile falls in — a conservative
+// (upward-biased) estimate. q is clamped into [0, 1] (a NaN q reads as
+// 0); zero observations or an empty bucket list yield 0. A quantile
+// landing in the +Inf bucket reports the last finite bucket bound — the
+// histogram cannot say more than "beyond every bound".
 func (l LatencySnapshot) Quantile(q float64) time.Duration {
-	if l.Count == 0 {
+	if l.Count == 0 || len(l.Buckets) == 0 {
 		return 0
+	}
+	if !(q > 0) { // catches q ≤ 0 and NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := uint64(q * float64(l.Count))
 	if rank < 1 {
 		rank = 1
 	}
 	var cum uint64
+	var lastFinite time.Duration
 	for _, b := range l.Buckets {
+		if b.UpperBound >= 0 {
+			lastFinite = time.Duration(b.UpperBound)
+		}
 		cum += b.Count
 		if cum >= rank {
 			if b.UpperBound < 0 {
-				return latencyBounds[len(latencyBounds)-1] // +Inf bucket: report the last finite bound
+				return lastFinite // +Inf bucket
 			}
 			return time.Duration(b.UpperBound)
 		}
 	}
-	return time.Duration(l.Buckets[len(l.Buckets)-1].UpperBound)
+	// rank exceeds the recorded observations (Count larger than the
+	// bucket sum — a torn snapshot): report the largest finite bound
+	// rather than indexing past the slice.
+	return lastFinite
 }
 
 // Snapshot is a point-in-time copy of the server's instrumentation.

@@ -1,28 +1,7 @@
-// Package serve is the warm-solver serving layer: the production front
-// end that turns a stream of independent single-right-hand-side solve
-// requests into the workload the paper proves is fast — few sweeps over
-// the factor, each carrying many right-hand sides.
-//
-// The paper's headline throughput comes from amortization: one
-// forward/backward sweep over 30 right-hand sides runs at several times
-// the per-RHS rate of 30 separate sweeps, because every factor entry
-// touched does NRHS units of work (the BLAS-3 effect of §5). A server
-// receiving single-RHS requests can only cash that in by coalescing:
-// concurrently arriving requests wait for at most a linger window, are
-// gathered into one N×m block (m bounded by MaxBatch), and ride a single
-// warm SolveInto sweep. The second amortization is the solver itself —
-// the task DAG, scatter maps, arena, and parked worker pool are built
-// once per server, not per request, so the engine's zero-allocation warm
-// path actually engages.
-//
-// Robustness follows the harness degradation ladder, applied per batch:
-// a coalesced sweep that fails (breakdown, panic, cancelled deadline, or
-// a residual above tolerance) is split back into singles, each retried
-// alone through harness.SolveRobustWith under its own context — so one
-// poisoned right-hand side costs its batchmates one retry, never their
-// answers. Admission control is a bounded queue: when it is full the
-// server sheds load with a typed *OverloadError instead of queueing
-// unboundedly, and per-request deadlines propagate into the solve.
+// This file is the server core: admission, batch formation, the
+// coalesced sweep, and the split-to-singles failure path. The package
+// contract (bitwise identity of batched answers, degradation semantics)
+// is documented in doc.go.
 package serve
 
 import (

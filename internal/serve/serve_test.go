@@ -399,3 +399,59 @@ func TestLatencyQuantile(t *testing.T) {
 		t.Fatalf("p99 = %v, want 25ms", got)
 	}
 }
+
+// TestLatencyQuantileEdgeCases pins the satellite fix: an empty
+// histogram and out-of-range q must return 0 / clamp, never index out
+// of range or produce garbage.
+func TestLatencyQuantileEdgeCases(t *testing.T) {
+	// Zero observations, with and without buckets.
+	if got := (LatencySnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("zero-value snapshot: %v, want 0", got)
+	}
+	// Nonzero count with an empty bucket slice (a hand-built or torn
+	// snapshot) must not panic.
+	if got := (LatencySnapshot{Count: 7}).Quantile(0.99); got != 0 {
+		t.Fatalf("count without buckets: %v, want 0", got)
+	}
+
+	// A populated histogram: q outside [0,1] clamps to the extremes,
+	// and NaN reads as the minimum.
+	var m metrics
+	for i := 0; i < 9; i++ {
+		m.observeLatency(40 * time.Microsecond)
+	}
+	m.observeLatency(10 * time.Second) // lands in the +Inf bucket
+	snap := LatencySnapshot{Count: m.latCount.Load()}
+	snap.Buckets = make([]Bucket, len(latencyBounds)+1)
+	for i, ub := range latencyBounds {
+		snap.Buckets[i] = Bucket{UpperBound: int64(ub), Count: m.latHist[i].Load()}
+	}
+	snap.Buckets[len(latencyBounds)] = Bucket{UpperBound: -1, Count: m.latHist[len(latencyBounds)].Load()}
+
+	min, max := 50*time.Microsecond, 5*time.Second // first and last finite bounds
+	for _, q := range []float64{-1, -0.001, 0} {
+		if got := snap.Quantile(q); got != min {
+			t.Fatalf("Quantile(%g) = %v, want clamp to %v", q, got, min)
+		}
+	}
+	for _, q := range []float64{1, 1.5, 100} {
+		// q = 1 lands in the +Inf bucket, which reports the last finite
+		// bound — and q > 1 must clamp to the same, not underflow a
+		// uint64 rank.
+		if got := snap.Quantile(q); got != max {
+			t.Fatalf("Quantile(%g) = %v, want %v", q, got, max)
+		}
+	}
+	if got := snap.Quantile(math.NaN()); got != min {
+		t.Fatalf("Quantile(NaN) = %v, want %v", got, min)
+	}
+	// All-overflow histogram: every observation beyond every bound
+	// still returns the last finite bound, not a negative duration.
+	over := LatencySnapshot{Count: 3, Buckets: []Bucket{
+		{UpperBound: int64(time.Millisecond)},
+		{UpperBound: -1, Count: 3},
+	}}
+	if got := over.Quantile(0.5); got != time.Millisecond {
+		t.Fatalf("all-overflow histogram: %v, want 1ms", got)
+	}
+}

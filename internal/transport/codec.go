@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sptrsv/internal/sparse"
+)
+
+// The solve wire format is a length-prefixed binary float64 block,
+// identical in both directions (request right-hand sides and response
+// solutions):
+//
+//	offset 0: uint32 LE  n  — rows (the matrix order)
+//	offset 4: uint32 LE  m  — columns (number of right-hand sides, ≥ 1)
+//	offset 8: n×m float64 LE, row-major (value (i,j) at word i*m+j —
+//	          the layout of sparse.Block.Data)
+//
+// The prefix is validated against the actual payload length before any
+// allocation, so a hostile prefix can neither over-allocate nor panic
+// the decoder; NaN and ±Inf payload values decode verbatim (the
+// solver's own finiteness guards decide their fate downstream).
+
+// blockHeaderLen is the fixed prefix size in bytes.
+const blockHeaderLen = 8
+
+// maxBlockWords caps n×m so a decoded block's backing slice stays under
+// 1 GiB even if a future caller feeds the decoder a pre-trusted length.
+const maxBlockWords = 1 << 27
+
+// EncodeBlock appends the wire encoding of b to dst and returns the
+// extended slice.
+func EncodeBlock(dst []byte, b *sparse.Block) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.N))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.M))
+	for _, v := range b.Data {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeBlock parses one wire-format block from buf. It never panics:
+// every malformed input — truncated header, length prefix disagreeing
+// with the payload, zero or overflowing dimensions — returns an error.
+func DecodeBlock(buf []byte) (*sparse.Block, error) {
+	if len(buf) < blockHeaderLen {
+		return nil, fmt.Errorf("transport: solve body too short for header: %d bytes (want ≥ %d)", len(buf), blockHeaderLen)
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	m := binary.LittleEndian.Uint32(buf[4:8])
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("transport: solve body has empty dimensions %d×%d", n, m)
+	}
+	words := uint64(n) * uint64(m)
+	if words > maxBlockWords {
+		return nil, fmt.Errorf("transport: solve body dimensions %d×%d exceed the %d-value limit", n, m, maxBlockWords)
+	}
+	payload := buf[blockHeaderLen:]
+	if uint64(len(payload)) != words*8 {
+		return nil, fmt.Errorf("transport: solve body length prefix %d×%d wants %d payload bytes, got %d",
+			n, m, words*8, len(payload))
+	}
+	blk := sparse.NewBlock(int(n), int(m))
+	for i := range blk.Data {
+		blk.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return blk, nil
+}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"sptrsv/internal/serve"
+)
+
+// This file renders GET /metrics in Prometheus text exposition format:
+// the registry gauges (resident matrices and bytes, evictions, build
+// failures) and, per resident matrix, the full serve.Snapshot — request
+// outcome counters, batch-shape statistics, and the request-latency
+// histogram in seconds with cumulative le buckets, so a standard
+// scraper can compute quantiles server-side.
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+	st := s.reg.Stats()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("sptrsv_registry_resident_matrices", "Matrices currently resident.", float64(st.Resident))
+	gauge("sptrsv_registry_building_matrices", "Matrices with a background build in flight.", float64(st.Building))
+	gauge("sptrsv_registry_draining_matrices", "Evicted matrices still finishing in-flight solves.", float64(st.Draining))
+	gauge("sptrsv_registry_resident_bytes", "Total resident footprint (factor nonzeros + solver arenas).", float64(st.ResidentBytes))
+	gauge("sptrsv_registry_resident_bytes_budget", "Configured resident-bytes budget (0 = unlimited).", float64(st.MaxResidentBytes))
+	counter("sptrsv_registry_evictions_total", "Matrices evicted to fit the resident-bytes budget or by request.", float64(st.Evictions))
+	counter("sptrsv_registry_build_failures_total", "Background factorization builds that failed.", float64(st.BuildFailures))
+
+	res := s.reg.Resident()
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	writeServeHeader(&sb)
+	for _, rs := range res {
+		writeServeSnapshot(&sb, rs.ID, rs.Serve)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(sb.String()))
+}
+
+// serveCounters maps the Snapshot outcome counters onto metric names;
+// the extraction closures keep writeServeSnapshot to one loop.
+var serveCounters = []struct {
+	name, help string
+	get        func(serve.Snapshot) uint64
+}{
+	{"sptrsv_serve_accepted_total", "Requests admitted to the solve queue.", func(s serve.Snapshot) uint64 { return s.Accepted }},
+	{"sptrsv_serve_rejected_overload_total", "Requests shed at admission (queue full).", func(s serve.Snapshot) uint64 { return s.RejectedOverload }},
+	{"sptrsv_serve_rejected_invalid_total", "Requests rejected for a bad shape.", func(s serve.Snapshot) uint64 { return s.RejectedInvalid }},
+	{"sptrsv_serve_cancelled_total", "Requests whose context ended first.", func(s serve.Snapshot) uint64 { return s.Cancelled }},
+	{"sptrsv_serve_failed_total", "Requests that exhausted the degradation ladder.", func(s serve.Snapshot) uint64 { return s.Failed }},
+	{"sptrsv_serve_path_native_total", "Requests answered by the warm native engine.", func(s serve.Snapshot) uint64 { return s.PathNative }},
+	{"sptrsv_serve_path_sequential_refine_total", "Requests answered by the sequential+refine fallback.", func(s serve.Snapshot) uint64 { return s.PathSequentialRefine }},
+	{"sptrsv_serve_batches_total", "Coalesced sweeps executed.", func(s serve.Snapshot) uint64 { return s.Batches }},
+	{"sptrsv_serve_batch_splits_total", "Batches that failed wholesale and were retried as singles.", func(s serve.Snapshot) uint64 { return s.BatchSplits }},
+}
+
+// writeServeHeader emits one HELP/TYPE pair per serve metric family
+// (they carry a matrix label, so the header is written once, not per
+// matrix).
+func writeServeHeader(sb *strings.Builder) {
+	for _, c := range serveCounters {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	}
+	fmt.Fprintf(sb, "# HELP sptrsv_serve_queue_depth Requests waiting for batch formation.\n# TYPE sptrsv_serve_queue_depth gauge\n")
+	fmt.Fprintf(sb, "# HELP sptrsv_serve_in_flight Admitted requests whose Solve has not returned.\n# TYPE sptrsv_serve_in_flight gauge\n")
+	fmt.Fprintf(sb, "# HELP sptrsv_serve_latency_seconds Request latency from admission to reply.\n# TYPE sptrsv_serve_latency_seconds histogram\n")
+}
+
+// writeServeSnapshot emits one matrix's serve metrics with a
+// matrix="id" label.
+func writeServeSnapshot(sb *strings.Builder, id string, snap serve.Snapshot) {
+	lbl := fmt.Sprintf("{matrix=%q}", id)
+	for _, c := range serveCounters {
+		fmt.Fprintf(sb, "%s%s %d\n", c.name, lbl, c.get(snap))
+	}
+	fmt.Fprintf(sb, "sptrsv_serve_queue_depth%s %d\n", lbl, snap.QueueDepth)
+	fmt.Fprintf(sb, "sptrsv_serve_in_flight%s %d\n", lbl, snap.InFlight)
+	// Latency histogram: serve buckets are per-bucket counts with
+	// nanosecond bounds; Prometheus wants cumulative counts with
+	// seconds bounds and a trailing +Inf.
+	var cum uint64
+	for _, b := range snap.Latency.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperBound >= 0 {
+			le = fmt.Sprintf("%g", float64(b.UpperBound)/1e9)
+		}
+		fmt.Fprintf(sb, "sptrsv_serve_latency_seconds_bucket{matrix=%q,le=%q} %d\n", id, le, cum)
+	}
+	fmt.Fprintf(sb, "sptrsv_serve_latency_seconds_sum{matrix=%q} %g\n",
+		id, float64(snap.Latency.Mean.Nanoseconds())/1e9*float64(snap.Latency.Count))
+	fmt.Fprintf(sb, "sptrsv_serve_latency_seconds_count{matrix=%q} %d\n", id, snap.Latency.Count)
+}

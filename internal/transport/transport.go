@@ -1,0 +1,343 @@
+// Package transport is the network front end of the serving stack: an
+// HTTP service over a registry of prepared systems (internal/registry),
+// turning the in-process warm-solver server (internal/serve) into a
+// daemon that can amortize one factorization across solve traffic from
+// many remote clients — the paper's factor-once/solve-many economics,
+// keyed by matrix id.
+//
+// Endpoints:
+//
+//	PUT  /v1/matrix/{id}   ingest: application/json mesh spec
+//	                       ({"grid2d":"NXxNY"} | {"cube":N} |
+//	                       {"problem":"NAME"}) or a Harwell-Boeing RSA
+//	                       body with any other content type. Responds
+//	                       202 while the background build runs; ?wait=1
+//	                       blocks until the matrix is resident.
+//	GET  /v1/matrix/{id}   lifecycle status (building/resident/…)
+//	DELETE /v1/matrix/{id} evict (drains in-flight solves first)
+//	POST /v1/solve/{id}    one solve: length-prefixed binary float64
+//	                       block in, same format out (see codec.go).
+//	                       Multi-RHS bodies fan out column-wise through
+//	                       the coalescing server. ?timeout=DUR bounds
+//	                       the solve; client disconnect cancels it.
+//	GET  /v1/matrices      status of every registered matrix (JSON)
+//	GET  /metrics          Prometheus text: per-matrix serve.Snapshot
+//	                       plus registry gauges
+//	GET  /healthz          liveness
+//
+// Error mapping: registry.ErrBuilding → 503 (with Retry-After),
+// registry.ErrNotFound → 404, registry.ErrEvicted → 410,
+// *serve.OverloadError → 429, deadline/cancel → 504, a failed build →
+// 502, solver rejection of the request shape → 400, an exhausted
+// degradation ladder → 500.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sptrsv/internal/native"
+	"sptrsv/internal/registry"
+	"sptrsv/internal/serve"
+	"sptrsv/internal/sparse"
+)
+
+// maxIngestBytes bounds a PUT body (Harwell-Boeing uploads).
+const maxIngestBytes = 64 << 20
+
+// maxSolveBytes bounds a POST /v1/solve body.
+const maxSolveBytes = 256 << 20
+
+// Service serves HTTP over one registry.
+type Service struct {
+	reg *registry.Registry
+	mux *http.ServeMux
+}
+
+// New builds the service and its routing table.
+func New(reg *registry.Registry) *Service {
+	s := &Service{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /v1/matrix/{id}", s.handlePut)
+	s.mux.HandleFunc("GET /v1/matrix/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/matrix/{id}", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/solve/{id}", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ingestSpec is the JSON body of a mesh-spec PUT.
+type ingestSpec struct {
+	Grid2D  string `json:"grid2d,omitempty"`  // "NXxNY"
+	Cube    int    `json:"cube,omitempty"`    // side length
+	Problem string `json:"problem,omitempty"` // suite problem name
+}
+
+// sourceFor translates one ingest request body into a registry Source.
+func sourceFor(r *http.Request, body []byte) (registry.Source, error) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) != "application/json" {
+		// Anything non-JSON is a Harwell-Boeing upload.
+		return registry.HarwellBoeingSource(body)
+	}
+	var spec ingestSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return nil, fmt.Errorf("transport: bad ingest spec: %w", err)
+	}
+	set := 0
+	if spec.Grid2D != "" {
+		set++
+	}
+	if spec.Cube > 0 {
+		set++
+	}
+	if spec.Problem != "" {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
+	}
+	switch {
+	case spec.Grid2D != "":
+		var nx, ny int
+		if _, err := fmt.Sscanf(strings.ToLower(spec.Grid2D), "%dx%d", &nx, &ny); err != nil {
+			return nil, fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
+		}
+		return registry.Grid2DSource(nx, ny)
+	case spec.Cube > 0:
+		return registry.CubeSource(spec.Cube)
+	default:
+		return registry.SuiteSource(spec.Problem)
+	}
+}
+
+func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading ingest body: %w", err))
+		return
+	}
+	if len(body) > maxIngestBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes))
+		return
+	}
+	src, err := sourceFor(r, body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.reg.Register(id, src); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	if wantWait(r) {
+		h, err := s.reg.AcquireWait(id, r.Context().Done())
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		h.Release()
+	}
+	st, err := s.reg.Status(id)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == "resident" {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func wantWait(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("wait")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Evict(r.PathValue("id")); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h, err := s.reg.Acquire(id)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	defer h.Release()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSolveBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading solve body: %w", err))
+		return
+	}
+	if len(body) > maxSolveBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("transport: solve body exceeds %d bytes", maxSolveBytes))
+		return
+	}
+	b, err := DecodeBlock(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The request context is the deadline carrier: it already ends on
+	// client disconnect, and ?timeout=DUR tightens it. serve.Server.Solve
+	// observes it per right-hand side.
+	ctx := r.Context()
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: bad timeout %q", tq))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	srv := h.Server()
+	x := sparse.NewBlock(b.N, b.M)
+	var solveErr error
+	if b.M == 1 {
+		col, err := srv.Solve(ctx, b.Data)
+		if err != nil {
+			solveErr = err
+		} else {
+			copy(x.Data, col)
+		}
+	} else {
+		// Multi-RHS: fan the columns out concurrently so they coalesce
+		// back into one warm sweep inside the server.
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for j := 0; j < b.M; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				rhs := make([]float64, b.N)
+				for i := 0; i < b.N; i++ {
+					rhs[i] = b.Data[i*b.M+j]
+				}
+				col, err := srv.Solve(ctx, rhs)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					x.Data[i*b.M+j] = col[i]
+				}
+			}(j)
+		}
+		wg.Wait()
+		solveErr = firstErr
+	}
+	if solveErr != nil {
+		httpError(w, statusFor(solveErr), solveErr)
+		return
+	}
+	out := EncodeBlock(make([]byte, 0, blockHeaderLen+len(x.Data)*8), x)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(out)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+// statusFor maps the serving stack's typed errors onto HTTP status
+// codes.
+func statusFor(err error) int {
+	var (
+		oe *serve.OverloadError
+		ce *native.CancelledError
+		de *native.DimensionError
+		be *registry.BuildError
+	)
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrEvicted):
+		return http.StatusGone
+	case errors.Is(err, registry.ErrBuilding):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, registry.ErrClosed), errors.Is(err, serve.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &oe):
+		return http.StatusTooManyRequests
+	case errors.As(err, &ce):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &de):
+		return http.StatusBadRequest
+	case errors.As(err, &be):
+		return http.StatusBadGateway
+	}
+	return http.StatusInternalServerError
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
