@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl
+.PHONY: check vet lint build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl
+
+# staticcheck version pinned so local runs and CI agree; `go run` fetches
+# it on demand (network) — lint skips with a notice when that fails.
+STATICCHECK_VERSION ?= 2025.1
 
 ## check: the tier-1 gate — vet, build, full test suite, and a race-detector
 ## pass over the concurrency-bearing packages (the native shared-memory
@@ -9,6 +13,16 @@ check: vet build test race
 
 vet:
 	$(GO) vet ./...
+
+## lint: vet plus the pinned staticcheck pass (the CI lint step). Offline
+## hosts that cannot fetch staticcheck get vet only, with a notice;
+## findings from an available staticcheck still fail the target.
+lint: vet
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) unavailable (offline?); vet-only pass"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -437,54 +437,63 @@ func BenchmarkNativeSolver(b *testing.B) {
 // nativeSolveRow is one grid point of BenchmarkNativeSolve, serialized
 // into the BENCH json document when BENCH_JSON is set.
 type nativeSolveRow struct {
+	Problem         string  `json:"problem"`
+	N               int     `json:"n"`
+	NnzL            int64   `json:"nnz_l"`
+	Strategy        string  `json:"strategy"`
 	Workers         int     `json:"workers"`
-	Grain           int     `json:"grain"` // 0 = tuned default, -1 = aggregation off
 	NRHS            int     `json:"nrhs"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	MFLOPS          float64 `json:"mflops"`
 	Tasks           int     `json:"tasks"`
 	AggregatedTasks int     `json:"aggregated_tasks"`
+	Levels          int     `json:"levels"` // 0 for the counter-driven subtree DAG
 	ArenaBytes      int64   `json:"arena_bytes"`
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 }
 
 // nativeSolveDoc is the BENCH json shape written to results/: one
-// document per benchmark with problem metadata and the measured grid.
+// document per benchmark with the measured strategy × NRHS grid over the
+// mesh suite.
 type nativeSolveDoc struct {
 	Bench      string           `json:"bench"`
-	Problem    string           `json:"problem"`
-	N          int              `json:"n"`
-	NnzL       int64            `json:"nnz_l"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Rows       []nativeSolveRow `json:"rows"`
 }
 
-// BenchmarkNativeSolve measures the steady-state hot path of the native
-// engine — warm Solver, SolveInto, no per-call allocations — across the
-// workers × grain × NRHS grid. Run with -benchmem to see the allocation
-// columns; with BENCH_JSON set (a path, or "1" for the default
-// results/nativesolve.json) the grid is also written as a BENCH json
-// document:
+// BenchmarkNativeSolve is the strategy shoot-out on the steady-state hot
+// path of the native engine — warm Solver, SolveInto, no per-call
+// allocations. For each mesh-suite problem it runs the sequential
+// baseline (subtree, one worker) and then all three execution schedules
+// (subtree task DAG, barrier-synchronous level sets, hybrid level cut)
+// at four workers, across NRHS ∈ {1, 4, 16, 30}. Run with -benchmem to
+// see the allocation columns; with BENCH_JSON set (a path, or "1" for
+// the default results/nativesolve.json) the grid is also written as a
+// BENCH json document:
 //
 //	BENCH_JSON=1 go test -run=NONE -bench=NativeSolve -benchmem .
 func BenchmarkNativeSolve(b *testing.B) {
-	pr := benchProblem()
-	f, err := chol.Factorize(pr.A, pr.Sym)
-	if err != nil {
-		b.Fatal(err)
-	}
 	rows := map[string]nativeSolveRow{}
 	var order []string
-	grains := []struct {
-		name string
-		v    int
-	}{{"default", 0}, {"off", -1}}
-	for _, w := range []int{1, 4} {
-		for _, g := range grains {
-			for _, m := range []int{1, 30} {
-				name := fmt.Sprintf("workers=%d/grain=%s/nrhs=%d", w, g.name, m)
+	configs := []struct {
+		strategy native.Strategy
+		workers  int
+	}{
+		{native.StrategySubtree, 1}, // sequential baseline
+		{native.StrategySubtree, 4},
+		{native.StrategyLevelSet, 4},
+		{native.StrategyHybrid, 4},
+	}
+	for _, pr := range []*harness.Prepared{benchProblem(), benchProblem3D()} {
+		f, err := chol.Factorize(pr.A, pr.Sym)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range configs {
+			for _, m := range []int{1, 4, 16, 30} {
+				name := fmt.Sprintf("%s/strategy=%s/workers=%d/nrhs=%d", pr.Name, cfg.strategy, cfg.workers, m)
 				b.Run(name, func(b *testing.B) {
-					sv := native.NewSolver(f, native.Options{Workers: w, Grain: g.v})
+					sv := native.NewSolver(f, native.Options{Workers: cfg.workers, Strategy: cfg.strategy})
 					defer sv.Close()
 					ctx := context.Background()
 					rhs := mesh.RandomRHS(pr.Sym.N, m, 1)
@@ -511,10 +520,11 @@ func BenchmarkNativeSolve(b *testing.B) {
 						order = append(order, name)
 					}
 					rows[name] = nativeSolveRow{ // largest b.N escalation wins
-						Workers: w, Grain: g.v, NRHS: m,
+						Problem: pr.Name, N: pr.Sym.N, NnzL: pr.Sym.NnzL,
+						Strategy: st.Strategy.String(), Workers: cfg.workers, NRHS: m,
 						NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
 						MFLOPS:  st.MFLOPS(pr.Sym.SolveFlopsPerRHS, m),
-						Tasks:   st.Tasks, AggregatedTasks: st.AggregatedTasks,
+						Tasks:   st.Tasks, AggregatedTasks: st.AggregatedTasks, Levels: st.Levels,
 						ArenaBytes: st.AllocBytes, AllocsPerOp: allocs,
 					}
 				})
@@ -529,10 +539,7 @@ func BenchmarkNativeSolve(b *testing.B) {
 		if path == "1" {
 			path = "results/nativesolve.json"
 		}
-		doc := nativeSolveDoc{
-			Bench: "NativeSolve", Problem: pr.Name,
-			N: pr.Sym.N, NnzL: pr.Sym.NnzL, GOMAXPROCS: runtime.GOMAXPROCS(0),
-		}
+		doc := nativeSolveDoc{Bench: "NativeSolve", GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		for _, name := range order {
 			doc.Rows = append(doc.Rows, rows[name])
 		}

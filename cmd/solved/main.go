@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"sptrsv/internal/native"
 	"sptrsv/internal/registry"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/transport"
@@ -50,6 +51,7 @@ func main() {
 		budgetMB     = flag.Float64("budget-mb", 0, "resident-bytes budget in MiB across all matrices (0 = unlimited)")
 		workers      = flag.Int("workers", 0, "native solver workers per matrix (0 = GOMAXPROCS)")
 		grain        = flag.Int("grain", 0, "native solver task grain (0 = default)")
+		strat        = flag.String("strategy", "auto", "default execution schedule per matrix: subtree | levelset | hybrid | auto (auto picks from each matrix's elimination-tree shape at build time)")
 		maxBatch     = flag.Int("maxbatch", 0, "serve: max coalesced RHS per sweep (0 = 30)")
 		linger       = flag.Duration("linger", 0, "serve: batch linger window (0 = 200µs)")
 		queue        = flag.Int("queue", 0, "serve: admission queue depth (0 = 4×maxbatch)")
@@ -59,10 +61,14 @@ func main() {
 	)
 	flag.Parse()
 
+	strategy, err := native.ParseStrategy(*strat)
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg := registry.New(registry.Config{
 		MaxResidentBytes: int64(*budgetMB * (1 << 20)),
 		Serve: serve.Config{
-			Workers: *workers, Grain: *grain,
+			Workers: *workers, Grain: *grain, Strategy: strategy,
 			MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue, Tol: *tol,
 		},
 	})
@@ -135,7 +141,7 @@ func preloadMatrices(reg *registry.Registry, preload string) error {
 			return fmt.Errorf("preload %s: %w", id, err)
 		}
 		st, _ := reg.Status(id)
-		log.Printf("preloaded %s: N = %d, nnz(L) = %d", id, st.N, st.NnzL)
+		log.Printf("preloaded %s: N = %d, nnz(L) = %d, strategy = %s", id, st.N, st.NnzL, st.Strategy)
 		h.Release()
 	}
 	return nil

@@ -78,14 +78,16 @@ type SpeedupRow struct {
 }
 
 // NativeConfig parameterizes the predicted-versus-measured comparison:
-// how many right-hand sides, how many timed repetitions (best kept), and
-// the native engine's task grain (0 keeps native.DefaultGrain, negative
-// disables subtree aggregation).
+// how many right-hand sides, how many timed repetitions (best kept), the
+// native engine's task grain (0 keeps native.DefaultGrain, negative
+// disables subtree aggregation), and its execution schedule (zero value
+// keeps the subtree task DAG).
 type NativeConfig struct {
-	NRHS  int
-	Reps  int
-	Grain int
-	Model machine.CostModel
+	NRHS     int
+	Reps     int
+	Grain    int
+	Strategy native.Strategy
+	Model    machine.CostModel
 }
 
 // NativeVsSim runs the same factor through the virtual-time solver at
@@ -115,7 +117,7 @@ func NativeVsSim(pr *Prepared, counts []int, cfg NativeConfig) ([]SpeedupRow, fl
 	nativeTime := func(w int) (time.Duration, *sparse.Block, error) {
 		// One solver per count, reused across reps: after the first call
 		// the arena is warm and repetitions run allocation-free.
-		sv := native.NewSolver(f, native.Options{Workers: w, Grain: cfg.Grain})
+		sv := native.NewSolver(f, native.Options{Workers: w, Grain: cfg.Grain, Strategy: cfg.Strategy})
 		defer sv.Close()
 		x := sparse.NewBlock(pr.Sym.N, nrhs)
 		best := time.Duration(0)

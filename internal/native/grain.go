@@ -59,6 +59,18 @@ func solveWork(sym *symbolic.Factor, s int) int64 {
 	return t * (2*ns - t + 1)
 }
 
+// checkTopological panics unless the supernodal elimination-tree
+// invariant SParent[s] > s (parents hold later columns) holds — the
+// property every ascending/descending pass in this package relies on,
+// guaranteed by both Analyze and Amalgamate.
+func checkTopological(sym *symbolic.Factor) {
+	for s := 0; s < sym.NSuper; s++ {
+		if p := sym.SParent[s]; p >= 0 && p <= s {
+			panic("native: supernode parent not topologically ordered")
+		}
+	}
+}
+
 // buildTaskGraph aggregates the supernodal elimination forest under the
 // work cutoff grain: 0 means DefaultGrain, negative disables aggregation
 // (one task per supernode), and a huge value collapses each tree into a
@@ -71,15 +83,7 @@ func buildTaskGraph(sym *symbolic.Factor, grain int) *taskGraph {
 	} else if grain < 0 {
 		cutoff = 0
 	}
-
-	// The ascending/descending passes below rely on the supernodal
-	// elimination-tree invariant SParent[s] > s (parents hold later
-	// columns), which both Analyze and Amalgamate guarantee.
-	for s := 0; s < n; s++ {
-		if p := sym.SParent[s]; p >= 0 && p <= s {
-			panic("native: supernode parent not topologically ordered")
-		}
-	}
+	checkTopological(sym)
 
 	// Cumulative subtree work, children before parents.
 	work := make([]int64, n)
@@ -109,6 +113,18 @@ func buildTaskGraph(sym *symbolic.Factor, grain int) *taskGraph {
 		}
 		covered[s] = true
 	}
+	return assembleTaskGraph(sym, covered, rootOf)
+}
+
+// assembleTaskGraph turns a subtree covering — covered[s] true when s
+// belongs to the aggregated subtree rooted at rootOf[s], false when s
+// stays a singleton task — into the collapsed task DAG. Shared between
+// the work-cutoff covering above and the level-cut covering the hybrid
+// strategy builds (strategy.go). The covering must keep every task's
+// members a contiguous subtree: a covered supernode with rootOf[s] ≠ s
+// has its parent covered and in the same task.
+func assembleTaskGraph(sym *symbolic.Factor, covered []bool, rootOf []int) *taskGraph {
+	n := sym.NSuper
 
 	// Assign task ids at each task's terminal (maximum) supernode, in
 	// ascending supernode order: subtree members precede their root, so
@@ -132,9 +148,9 @@ func buildTaskGraph(sym *symbolic.Factor, grain int) *taskGraph {
 	}
 
 	// Collapsed edges. Cross-task edges always leave a task's terminal
-	// supernode: an aggregated subtree is closed under children, and the
-	// parent of an over-cutoff singleton is itself over the cutoff
-	// (subtree work is monotone up the tree).
+	// supernode: an aggregated subtree is closed under children, and an
+	// uncovered supernode's parent is itself uncovered (both subtree work
+	// and tree level are monotone up the tree).
 	g := &taskGraph{
 		nTasks:    nTasks,
 		taskOf:    taskOf,

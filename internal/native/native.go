@@ -67,6 +67,13 @@ type Options struct {
 	// scheduling only — the solution is bitwise identical for every
 	// value.
 	Grain int
+	// Strategy selects the execution schedule (see strategy.go): the
+	// subtree task DAG (default), barrier-synchronous level sets, the
+	// level-cut hybrid, or automatic selection from the elimination-tree
+	// shape. Grain applies to StrategySubtree only; the other schedules
+	// fix their own aggregation. Like Grain, Strategy affects scheduling
+	// only — the solution is bitwise identical for every choice.
+	Strategy Strategy
 	// TaskHook, when non-nil, runs at the start of every supernode
 	// execution (aggregated tasks invoke it once per member supernode);
 	// see TaskHook for the contract. Fault-injection tests and
@@ -97,11 +104,12 @@ func DefaultOptions() Options { return Options{} }
 // that builds solvers per request, however, must Close them: parked
 // pools pile up until the garbage collector gets around to finalizers.
 type Solver struct {
-	F       *chol.Factor
-	workers int
-	b       int
-	grain   int
-	hook    TaskHook
+	F        *chol.Factor
+	workers  int
+	b        int
+	grain    int
+	strategy Strategy
+	hook     TaskHook
 
 	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
 	// below-triangle row of supernode c (the child→parent scatter map the
@@ -109,6 +117,13 @@ type Solver struct {
 	parentPos [][]int
 	// graph is the aggregated task DAG (see grain.go).
 	graph *taskGraph
+	// levels, non-nil for the barrier-synchronous strategies (level-set
+	// and hybrid), groups graph's task ids by collapsed-tree level: the
+	// forward sweep runs levels[0], barrier, levels[1], …; the backward
+	// sweep the reverse. noSucc is an all-(-1) successor slice handed to
+	// the pool so level sweeps never decrement a dependency counter.
+	levels [][]int
+	noSucc []int
 	// heightOff[s] is the prefix sum of supernode heights — the arena
 	// slab offset of supernode s's buffer, in rows.
 	heightOff   []int
@@ -151,6 +166,12 @@ type Stats struct {
 	// AggregatedTasks counts tasks that execute more than one supernode —
 	// the collapsed subtrees the grain controller produced.
 	AggregatedTasks int
+	// Strategy is the resolved execution schedule (never StrategyAuto —
+	// auto resolves at NewSolver time).
+	Strategy Strategy
+	// Levels is the number of barrier phases per sweep for the
+	// barrier-synchronous strategies; 0 for the subtree task DAG.
+	Levels int
 	Forward         time.Duration
 	Backward        time.Duration
 	// AllocBytes is the steady-state footprint of the solver's reusable
@@ -184,11 +205,16 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 	if b <= 0 {
 		b = 8
 	}
+	strat := opts.Strategy
+	if strat == StrategyAuto {
+		strat = ChooseStrategy(sym, w)
+	}
 	sv := &Solver{
 		F:         f,
 		workers:   w,
 		b:         b,
 		grain:     opts.Grain,
+		strategy:  strat,
 		hook:      opts.TaskHook,
 		parentPos: make([][]int, sym.NSuper),
 		heightOff: make([]int, sym.NSuper),
@@ -215,7 +241,25 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 		}
 		sv.parentPos[c] = pos
 	}
-	sv.graph = buildTaskGraph(sym, opts.Grain)
+	switch strat {
+	case StrategySubtree:
+		sv.graph = buildTaskGraph(sym, opts.Grain)
+	case StrategyLevelSet:
+		// One task per supernode (grain ignored), barriers between levels.
+		sv.graph = buildTaskGraph(sym, -1)
+		sv.levels = taskLevels(sv.graph)
+	case StrategyHybrid:
+		sv.graph = buildHybridGraph(sym, w)
+		sv.levels = taskLevels(sv.graph)
+	default:
+		panic(fmt.Sprintf("native: invalid Options.Strategy %v", opts.Strategy))
+	}
+	if sv.levels != nil {
+		sv.noSucc = make([]int, sv.graph.nTasks)
+		for t := range sv.noSucc {
+			sv.noSucc[t] = -1
+		}
+	}
 	// The finalizer releases the parked worker pool of an abandoned
 	// Solver; between sweeps the pool holds no reference back to sv, so
 	// an unreachable Solver really is collected.
@@ -225,6 +269,11 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 
 // Workers returns the solver's worker-pool size.
 func (sv *Solver) Workers() int { return sv.workers }
+
+// Strategy returns the solver's resolved execution schedule — when the
+// solver was built with StrategyAuto this is the concrete strategy
+// ChooseStrategy picked from the elimination-tree shape.
+func (sv *Solver) Strategy() Strategy { return sv.strategy }
 
 // Tasks returns the number of scheduler tasks per sweep after subtree
 // aggregation (NSuper when aggregation is disabled).
@@ -324,6 +373,8 @@ func (sv *Solver) baseStats() Stats {
 		Tasks:           sv.graph.nTasks,
 		Supernodes:      sv.F.Sym.NSuper,
 		AggregatedTasks: sv.graph.aggregated,
+		Strategy:        sv.strategy,
+		Levels:          len(sv.levels),
 		AllocBytes:      sv.arena.bytes,
 	}
 }
@@ -414,6 +465,9 @@ func (sv *Solver) runSweep(ctx context.Context, phase TaskPhase) error {
 		return sv.runSeq(ctx, phase)
 	}
 	sv.ensurePool()
+	if sv.levels != nil {
+		return sv.runLevels(ctx, cancel, phase)
+	}
 	deps := sv.arena.deps
 	if phase == ForwardPhase {
 		copy(deps, g.nchildren)

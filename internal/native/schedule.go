@@ -232,6 +232,45 @@ drain:
 	return nil
 }
 
+// runLevels is the barrier-synchronous execution path used by the
+// level-set and hybrid strategies: one pool sweep per collapsed-tree
+// level — every task of a level runs in a parallel-for with no
+// dependency counters (the previous barrier already guarantees all
+// predecessors finished), ascending levels for forward elimination,
+// descending for back substitution. A single-task level skips the pool
+// and runs inline on the coordinator goroutine: worker slot 0's scratch
+// is free because nothing else is executing. Reusing pool.sweep keeps
+// the epoch/stale-item machinery, panic recovery, cancellation, and the
+// zero-steady-state-allocation property identical to the DAG path; the
+// all-(-1) noSucc successor table means no counter is ever decremented,
+// so the deps slice contents are irrelevant (each level's tasks are all
+// published as sources).
+func (sv *Solver) runLevels(ctx context.Context, cancel context.CancelFunc, phase TaskPhase) error {
+	runLevel := func(lvl []int) error {
+		if len(lvl) == 1 {
+			if err := ctx.Err(); err != nil {
+				return &CancelledError{Cause: context.Cause(ctx)}
+			}
+			return sv.runTask(ctx, phase, 0, lvl[0])
+		}
+		return sv.pool.sweep(ctx, cancel, phase, sv, sv.arena.deps, lvl, sv.noSucc, nil, len(lvl))
+	}
+	if phase == ForwardPhase {
+		for _, lvl := range sv.levels {
+			if err := runLevel(lvl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := len(sv.levels) - 1; i >= 0; i-- {
+		if err := runLevel(sv.levels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runSeq is the sequential execution path: tasks in topological order on
 // the caller's goroutine — no channels, no atomics, no goroutines. Task
 // indices are topologically sorted by construction, so ascending order is

@@ -1,0 +1,309 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+// The tests in this file pin the strategy layer's contract: every
+// execution schedule — subtree task DAG, barrier-synchronous level sets,
+// the level-cut hybrid, and the auto resolution — produces bitwise the
+// same solution as the simulator's p=1 run, attributes faults to the
+// exact supernode, and keeps the warm-solve path allocation-free. They
+// are part of the -race suite (`make race`).
+
+// strategySweep is the concrete-strategy ladder; auto is tested
+// separately because it resolves to one of these.
+var strategySweep = []Strategy{StrategySubtree, StrategyLevelSet, StrategyHybrid}
+
+// analyzedSym builds just the symbolic factor of a matrix (for the
+// tree-shape heuristics, which never touch numerics).
+func analyzedSym(t *testing.T, a *sparse.SymCSC) *symbolic.Factor {
+	t.Helper()
+	sym, _, _ := symbolic.Analyze(a)
+	return sym
+}
+
+// TestStrategyBitwiseIdentity is the cross product the issue pins:
+// every Strategy × grain × workers × RHS-width combination must be
+// bitwise identical to the simulator's p=1 execution.
+func TestStrategyBitwiseIdentity(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
+	for _, m := range []int{1, 4} {
+		b := mesh.RandomRHS(f.Sym.N, m, 7)
+		want := simulatorP1Solve(t, f, b)
+		for _, strat := range append(strategySweep, StrategyAuto) {
+			for _, g := range grainSweep {
+				for _, w := range []int{1, 2, 8} {
+					sv := NewSolver(f, Options{Workers: w, Grain: g, Strategy: strat})
+					x, st, err := sv.SolveCtx(context.Background(), b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Strategy == StrategyAuto {
+						t.Fatalf("strategy=%s grain=%s workers=%d: stats report unresolved auto", strat, grainName(g), w)
+					}
+					for i, v := range x.Data {
+						if v != want.Data[i] {
+							t.Fatalf("m=%d strategy=%s grain=%s workers=%d: entry %d differs bitwise from simulator p=1",
+								m, strat, grainName(g), w, i)
+						}
+					}
+					sv.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestStrategyFaultAttribution panics a hook at a fixed supernode under
+// every Strategy × grain × phase combination: the recovered
+// *TaskPanicError must name that supernode regardless of how the
+// schedule grouped it into tasks or levels.
+func TestStrategyFaultAttribution(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	target := f.Sym.NSuper / 2
+	for _, strat := range strategySweep {
+		for _, g := range []int{0, math.MaxInt} {
+			for _, phase := range []TaskPhase{ForwardPhase, BackwardPhase} {
+				sv := NewSolver(f, Options{Workers: 4, Grain: g, Strategy: strat,
+					TaskHook: func(_ context.Context, p TaskPhase, s int) error {
+						if p == phase && s == target {
+							panic("deliberate strategy-matrix panic")
+						}
+						return nil
+					}})
+				_, _, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 2, 1))
+				var pe *TaskPanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("strategy=%s grain=%s %s: got %v, want *TaskPanicError", strat, grainName(g), phase, err)
+				}
+				if pe.Phase != phase || pe.Task != target {
+					t.Fatalf("strategy=%s grain=%s %s: panic attributed to %s supernode %d, want supernode %d",
+						strat, grainName(g), phase, pe.Phase, pe.Task, target)
+				}
+				sv.Close()
+			}
+		}
+	}
+}
+
+// TestLevelSetSchedule pins the level-set geometry: one task per
+// supernode (grain is documented as ignored), more than one barrier
+// level on a real mesh, every task in exactly one level, and every
+// task's parent in a strictly later level (the correctness condition a
+// barrier schedule rests on).
+func TestLevelSetSchedule(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	sv := NewSolver(f, Options{Workers: 4, Grain: math.MaxInt, Strategy: StrategyLevelSet})
+	defer sv.Close()
+	_, st, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != f.Sym.NSuper || st.AggregatedTasks != 0 {
+		t.Fatalf("levelset: tasks=%d aggregated=%d, want %d/0 (grain must be ignored)",
+			st.Tasks, st.AggregatedTasks, f.Sym.NSuper)
+	}
+	if st.Levels < 2 {
+		t.Fatalf("levelset on a real mesh has %d levels, want ≥ 2", st.Levels)
+	}
+	checkLevelStructure(t, sv)
+}
+
+// TestHybridSchedule pins the hybrid geometry: every multi-supernode
+// task is a whole leaf subtree (a forward source with no cross-task
+// predecessors), the schedule still has barrier levels, and the level
+// structure is consistent.
+func TestHybridSchedule(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 21))
+	sv := NewSolver(f, Options{Workers: 4, Strategy: StrategyHybrid})
+	defer sv.Close()
+	_, st, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AggregatedTasks == 0 {
+		t.Fatalf("hybrid on a wide mesh aggregated nothing: %+v", st)
+	}
+	if st.Tasks >= f.Sym.NSuper {
+		t.Fatalf("hybrid did not shrink the schedule: %d tasks of %d supernodes", st.Tasks, f.Sym.NSuper)
+	}
+	g := sv.graph
+	for task := 0; task < g.nTasks; task++ {
+		if len(g.members[task]) > 1 && g.nchildren[task] != 0 {
+			t.Fatalf("hybrid task %d aggregates %d supernodes but has %d cross-task predecessors; collapsed subtrees must be leaves",
+				task, len(g.members[task]), g.nchildren[task])
+		}
+	}
+	checkLevelStructure(t, sv)
+}
+
+// checkLevelStructure verifies the barrier schedule: every task appears
+// in exactly one level and every cross-task edge crosses a barrier
+// (parent strictly later than child).
+func checkLevelStructure(t *testing.T, sv *Solver) {
+	t.Helper()
+	g := sv.graph
+	levelOf := make([]int, g.nTasks)
+	for i := range levelOf {
+		levelOf[i] = -1
+	}
+	for l, tasks := range sv.levels {
+		for _, task := range tasks {
+			if levelOf[task] != -1 {
+				t.Fatalf("task %d in levels %d and %d", task, levelOf[task], l)
+			}
+			levelOf[task] = l
+		}
+	}
+	for task := 0; task < g.nTasks; task++ {
+		if levelOf[task] < 0 {
+			t.Fatalf("task %d missing from the level schedule", task)
+		}
+		if p := g.parent[task]; p >= 0 && levelOf[p] <= levelOf[task] {
+			t.Fatalf("task %d (level %d) has parent %d at level %d; barriers need strict ordering",
+				task, levelOf[task], p, levelOf[p])
+		}
+	}
+}
+
+// TestChooseStrategy pins the auto heuristic at its three corners: a
+// flat forest (diagonal matrix — every supernode at level 0) picks
+// level sets when wide relative to the pool and the hybrid in between,
+// a chain (tridiagonal — one supernode per level) keeps the subtree
+// DAG, and a sequential solver always keeps the subtree DAG.
+func TestChooseStrategy(t *testing.T) {
+	diag := sparse.NewTriplet(64)
+	for i := 0; i < 64; i++ {
+		diag.Add(i, i, float64(i+2))
+	}
+	flat := analyzedSym(t, diag.Compile())
+	if got := ChooseStrategy(flat, 8); got != StrategyLevelSet {
+		t.Fatalf("flat forest, 8 workers: %s, want levelset", got)
+	}
+	if got := ChooseStrategy(flat, 32); got != StrategyHybrid {
+		t.Fatalf("flat forest, 32 workers: %s, want hybrid", got)
+	}
+	if got := ChooseStrategy(flat, 1); got != StrategySubtree {
+		t.Fatalf("sequential solver: %s, want subtree", got)
+	}
+
+	tri := sparse.NewTriplet(64)
+	for i := 0; i < 64; i++ {
+		tri.Add(i, i, 4)
+		if i > 0 {
+			tri.Add(i, i-1, -1)
+		}
+	}
+	chain := analyzedSym(t, tri.Compile())
+	if got := ChooseStrategy(chain, 8); got != StrategySubtree {
+		t.Fatalf("chain tree, 8 workers: %s, want subtree", got)
+	}
+}
+
+// TestStrategyAutoResolved checks that a solver built with StrategyAuto
+// reports the concrete resolution through both the accessor and Stats,
+// and that the resolution matches ChooseStrategy.
+func TestStrategyAutoResolved(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
+	sv := NewSolver(f, Options{Workers: 4, Strategy: StrategyAuto})
+	defer sv.Close()
+	want := ChooseStrategy(f.Sym, 4)
+	if got := sv.Strategy(); got != want || got == StrategyAuto {
+		t.Fatalf("auto resolved to %s, ChooseStrategy says %s", got, want)
+	}
+	_, st, err := sv.SolveCtx(context.Background(), mesh.RandomRHS(f.Sym.N, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != want {
+		t.Fatalf("stats report strategy %s, want %s", st.Strategy, want)
+	}
+}
+
+// TestParseStrategy round-trips every spelling and rejects garbage.
+func TestParseStrategy(t *testing.T) {
+	for _, strat := range append(strategySweep, StrategyAuto) {
+		got, err := ParseStrategy(strat.String())
+		if err != nil || got != strat {
+			t.Fatalf("round trip %s: got %v, %v", strat, got, err)
+		}
+	}
+	if got, err := ParseStrategy("level-set"); err != nil || got != StrategyLevelSet {
+		t.Fatalf("level-set alias: got %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("fastest"); err == nil {
+		t.Fatal("garbage strategy accepted")
+	}
+}
+
+// TestStrategyZeroAllocs extends the warm-solve contract to the barrier
+// strategies: once warm, SolveInto performs zero heap allocations under
+// every schedule.
+func TestStrategyZeroAllocs(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(21, 17))
+	for _, strat := range strategySweep {
+		for _, m := range []int{1, 4} {
+			sv := NewSolver(f, Options{Workers: 4, Strategy: strat})
+			b := mesh.RandomRHS(f.Sym.N, m, int64(m))
+			x := mesh.RandomRHS(f.Sym.N, m, 0)
+			ctx := context.Background()
+			for i := 0; i < 2; i++ { // arena sizing + pool spawn
+				if _, err := sv.SolveInto(ctx, b, x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := sv.SolveInto(ctx, b, x); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("strategy=%s m=%d: %.0f allocs per warm SolveInto, want 0", strat, m, allocs)
+			}
+			sv.Close()
+		}
+	}
+}
+
+// TestStrategyHookErrorUnwinds checks the failure path of the barrier
+// executor: a hook error at a mid-tree supernode surfaces promptly from
+// every strategy, and the solver stays usable afterwards.
+func TestStrategyHookErrorUnwinds(t *testing.T) {
+	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
+	boom := errors.New("deliberate hook failure")
+	target := f.Sym.NSuper / 3
+	for _, strat := range strategySweep {
+		fail := true
+		sv := NewSolver(f, Options{Workers: 4, Strategy: strat,
+			TaskHook: func(_ context.Context, p TaskPhase, s int) error {
+				if fail && p == ForwardPhase && s == target {
+					return boom
+				}
+				return nil
+			}})
+		b := mesh.RandomRHS(f.Sym.N, 1, 9)
+		if _, _, err := sv.SolveCtx(context.Background(), b); !errors.Is(err, boom) {
+			t.Fatalf("strategy=%s: got %v, want the hook error", strat, err)
+		}
+		fail = false
+		want := simulatorP1Solve(t, f, b)
+		x, _, err := sv.SolveCtx(context.Background(), b)
+		if err != nil {
+			t.Fatalf("strategy=%s: solver unusable after failed sweep: %v", strat, err)
+		}
+		for i, v := range x.Data {
+			if v != want.Data[i] {
+				t.Fatalf("strategy=%s: entry %d differs after recovery", strat, i)
+			}
+		}
+		sv.Close()
+	}
+}

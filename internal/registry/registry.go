@@ -33,6 +33,7 @@ import (
 
 	"sptrsv/internal/chol"
 	"sptrsv/internal/harness"
+	"sptrsv/internal/native"
 	"sptrsv/internal/serve"
 )
 
@@ -73,8 +74,21 @@ type Config struct {
 	// unlimited.
 	MaxResidentBytes int64
 	// Serve is the configuration template for every per-matrix
-	// serve.Server the registry constructs.
+	// serve.Server the registry constructs; RegisterWith can override
+	// parts of it per matrix (see BuildOptions). With Serve.Strategy set
+	// to native.StrategyAuto, every build picks its schedule from that
+	// matrix's elimination-tree shape.
 	Serve serve.Config
+}
+
+// BuildOptions are the per-matrix overrides RegisterWith applies on top
+// of the registry's Config.Serve template. RegisterWith applies them
+// verbatim — callers that want the template unchanged use Register.
+type BuildOptions struct {
+	// Strategy is the execution schedule of this matrix's solver
+	// (replaces the template's Serve.Strategy); native.StrategyAuto
+	// defers to the elimination-tree shape at build time.
+	Strategy native.Strategy
 }
 
 // state is one entry's position in the lifecycle.
@@ -110,6 +124,11 @@ type entry struct {
 	state state
 	built chan struct{} // closed when the build finishes, either way
 	err   error         // build failure, set before built closes
+
+	// serveCfg is the per-entry server configuration (the registry
+	// template, possibly with RegisterWith overrides applied), fixed at
+	// Register time and read by the build goroutine.
+	serveCfg serve.Config
 
 	pr  *harness.Prepared
 	f   *chol.Factor
@@ -163,6 +182,19 @@ func New(cfg Config) *Registry {
 // runs. A failed or evicted id is re-registered (the tombstone is
 // replaced and the build retried). Returns ErrClosed after Close.
 func (r *Registry) Register(id string, src Source) error {
+	return r.register(id, src, r.cfg.Serve)
+}
+
+// RegisterWith is Register with per-matrix overrides applied to the
+// registry's serve.Config template — the path the transport layer uses
+// when an ingest spec names a scheduling strategy for the matrix.
+func (r *Registry) RegisterWith(id string, src Source, opts BuildOptions) error {
+	cfg := r.cfg.Serve
+	cfg.Strategy = opts.Strategy
+	return r.register(id, src, cfg)
+}
+
+func (r *Registry) register(id string, src Source, cfg serve.Config) error {
 	if id == "" {
 		return fmt.Errorf("registry: empty matrix id")
 	}
@@ -174,7 +206,7 @@ func (r *Registry) Register(id string, src Source) error {
 	if e, ok := r.entries[id]; ok && (e.state == stateBuilding || e.state == stateResident) {
 		return nil // singleflight: a usable entry already exists
 	}
-	e := &entry{id: id, state: stateBuilding, built: make(chan struct{})}
+	e := &entry{id: id, state: stateBuilding, built: make(chan struct{}), serveCfg: cfg}
 	r.entries[id] = e
 	r.wg.Add(1)
 	go r.build(e, src)
@@ -204,7 +236,7 @@ func (r *Registry) build(e *entry, src Source) {
 		return
 	}
 	e.pr, e.f = pr, f
-	e.srv = serve.New(pr, f, r.cfg.Serve)
+	e.srv = serve.New(pr, f, e.serveCfg)
 	e.baseBytes = f.NnzL() * 8
 	e.state = stateResident
 	e.lastUse = r.tick()
@@ -436,6 +468,9 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 	}
 	if e.state == stateResident || e.draining {
 		st.Bytes = e.bytes()
+		// The resolved schedule — with an auto template this is the
+		// concrete strategy the build picked from the tree shape.
+		st.Strategy = e.srv.Solver().Strategy().String()
 	}
 	return st
 }
@@ -448,7 +483,10 @@ type MatrixStatus struct {
 	NnzL  int64  `json:"nnz_l,omitempty"`
 	Bytes int64  `json:"bytes,omitempty"`
 	Refs  int    `json:"refs,omitempty"`
-	Error string `json:"error,omitempty"`
+	// Strategy is the resolved execution schedule of the matrix's solver
+	// (subtree | levelset | hybrid), reported while resident or draining.
+	Strategy string `json:"strategy,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // Stats are the registry-level gauges the metrics endpoint exports.

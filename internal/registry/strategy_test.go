@@ -1,0 +1,69 @@
+package registry
+
+import (
+	"testing"
+
+	"sptrsv/internal/native"
+	"sptrsv/internal/serve"
+)
+
+// The tests in this file pin the per-matrix strategy plumbing: an auto
+// template resolves to a concrete schedule per matrix at build time, and
+// RegisterWith overrides the template for one matrix.
+
+func TestAutoStrategyResolvesPerMatrix(t *testing.T) {
+	reg := New(Config{Serve: serve.Config{Workers: 8, Strategy: native.StrategyAuto}})
+	defer reg.Close()
+	src, err := Grid2DSource(15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("g", src); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.AcquireWait("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+
+	// The build resolved auto against this matrix's elimination tree.
+	want := native.ChooseStrategy(h.Prepared().Sym, 8)
+	if got := h.Server().Solver().Strategy(); got != want || got == native.StrategyAuto {
+		t.Fatalf("auto build resolved to %s, ChooseStrategy says %s", got, want)
+	}
+	st, err := reg.Status("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != want.String() {
+		t.Fatalf("status reports strategy %q, want %q", st.Strategy, want)
+	}
+}
+
+func TestRegisterWithOverridesStrategy(t *testing.T) {
+	reg := New(Config{Serve: serve.Config{Workers: 4, Strategy: native.StrategyAuto}})
+	defer reg.Close()
+	src, err := Grid2DSource(9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterWith("lvl", src, BuildOptions{Strategy: native.StrategyLevelSet}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.AcquireWait("lvl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if got := h.Server().Solver().Strategy(); got != native.StrategyLevelSet {
+		t.Fatalf("override built %s, want levelset", got)
+	}
+	st, err := reg.Status("lvl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "levelset" {
+		t.Fatalf("status reports strategy %q, want levelset", st.Strategy)
+	}
+}

@@ -21,10 +21,13 @@ import (
 // Config tunes a Server. The zero value of every field selects a
 // sensible default.
 type Config struct {
-	// Workers and Grain configure the underlying native solver (see
-	// native.Options).
-	Workers int
-	Grain   int
+	// Workers, Grain, and Strategy configure the underlying native solver
+	// (see native.Options). Strategy's zero value is the subtree task DAG;
+	// native.StrategyAuto picks a schedule from the elimination-tree shape
+	// at build time.
+	Workers  int
+	Grain    int
+	Strategy native.Strategy
 	// MaxBatch bounds how many single-RHS requests one sweep may carry; 0
 	// means 30, the paper's measured amortization sweet spot (§5).
 	// MaxBatch 1 disables coalescing (every request solves alone).
@@ -145,7 +148,8 @@ func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
 		pr:  pr,
 		cfg: cfg,
 		sv: native.NewSolver(f, native.Options{
-			Workers: cfg.Workers, Grain: cfg.Grain, TaskHook: cfg.TaskHook,
+			Workers: cfg.Workers, Grain: cfg.Grain, Strategy: cfg.Strategy,
+			TaskHook: cfg.TaskHook,
 		}),
 		queue:   make(chan *request, cfg.QueueDepth),
 		stop:    make(chan struct{}),

@@ -87,21 +87,33 @@ type ingestSpec struct {
 	Grid2D  string `json:"grid2d,omitempty"`  // "NXxNY"
 	Cube    int    `json:"cube,omitempty"`    // side length
 	Problem string `json:"problem,omitempty"` // suite problem name
+	// Strategy names the execution schedule for this matrix's solver
+	// (subtree | levelset | hybrid | auto); empty keeps the daemon's
+	// default. The ?strategy= query parameter is the equivalent for
+	// Harwell-Boeing uploads (and overrides nothing when the JSON field
+	// is set).
+	Strategy string `json:"strategy,omitempty"`
 }
 
-// sourceFor translates one ingest request body into a registry Source.
-func sourceFor(r *http.Request, body []byte) (registry.Source, error) {
+// sourceFor translates one ingest request body into a registry Source
+// plus the requested scheduling strategy ("" = daemon default).
+func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
+	strategy := r.URL.Query().Get("strategy")
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
 	if strings.TrimSpace(ct) != "application/json" {
 		// Anything non-JSON is a Harwell-Boeing upload.
-		return registry.HarwellBoeingSource(body)
+		src, err := registry.HarwellBoeingSource(body)
+		return src, strategy, err
 	}
 	var spec ingestSpec
 	if err := json.Unmarshal(body, &spec); err != nil {
-		return nil, fmt.Errorf("transport: bad ingest spec: %w", err)
+		return nil, "", fmt.Errorf("transport: bad ingest spec: %w", err)
+	}
+	if spec.Strategy != "" {
+		strategy = spec.Strategy
 	}
 	set := 0
 	if spec.Grid2D != "" {
@@ -114,20 +126,25 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, error) {
 		set++
 	}
 	if set != 1 {
-		return nil, fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
+		return nil, "", fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
 	}
+	var (
+		src registry.Source
+		err error
+	)
 	switch {
 	case spec.Grid2D != "":
 		var nx, ny int
 		if _, err := fmt.Sscanf(strings.ToLower(spec.Grid2D), "%dx%d", &nx, &ny); err != nil {
-			return nil, fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
+			return nil, "", fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
 		}
-		return registry.Grid2DSource(nx, ny)
+		src, err = registry.Grid2DSource(nx, ny)
 	case spec.Cube > 0:
-		return registry.CubeSource(spec.Cube)
+		src, err = registry.CubeSource(spec.Cube)
 	default:
-		return registry.SuiteSource(spec.Problem)
+		src, err = registry.SuiteSource(spec.Problem)
 	}
+	return src, strategy, err
 }
 
 func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -142,12 +159,22 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes))
 		return
 	}
-	src, err := sourceFor(r, body)
+	src, strategy, err := sourceFor(r, body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.reg.Register(id, src); err != nil {
+	if strategy == "" {
+		err = s.reg.Register(id, src)
+	} else {
+		strat, perr := native.ParseStrategy(strategy)
+		if perr != nil {
+			httpError(w, http.StatusBadRequest, perr)
+			return
+		}
+		err = s.reg.RegisterWith(id, src, registry.BuildOptions{Strategy: strat})
+	}
+	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
@@ -202,13 +229,10 @@ func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	h, err := s.reg.Acquire(id)
-	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
-	}
-	defer h.Release()
-
+	// Read and decode the body before touching the registry: acquiring
+	// the handle first would pin the entry — stalling eviction and Close
+	// drain — for as long as a slow client takes to upload up to
+	// maxSolveBytes.
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSolveBytes+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading solve body: %w", err))
@@ -240,6 +264,23 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	h, err := s.reg.Acquire(id)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	defer h.Release()
+
+	// One upfront shape check against the acquired matrix: without it a
+	// mismatched multi-RHS body would fan out M goroutines that each get
+	// rejected individually — inflating the rejected_invalid counter by M
+	// for one bad request.
+	if n := h.Prepared().Sym.N; b.N != n {
+		err := &native.DimensionError{What: "RHS rows", Got: b.N, Want: n}
+		httpError(w, statusFor(err), err)
+		return
+	}
+
 	srv := h.Server()
 	x := sparse.NewBlock(b.N, b.M)
 	var solveErr error
@@ -252,7 +293,12 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		// Multi-RHS: fan the columns out concurrently so they coalesce
-		// back into one warm sweep inside the server.
+		// back into one warm sweep inside the server. The first failed
+		// column cancels its siblings — the handler is going to report
+		// that error whatever the survivors do, so letting them run only
+		// burns batch width (amplifying 429s under overload).
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		var (
 			wg       sync.WaitGroup
 			errMu    sync.Mutex
@@ -271,6 +317,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
+						cancel()
 					}
 					errMu.Unlock()
 					return
