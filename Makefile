@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl
+.PHONY: check vet lint build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload
 
 # staticcheck version pinned so local runs and CI agree; `go run` fetches
 # it on demand (network) — lint skips with a notice when that fails.
@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve ./internal/registry ./internal/transport
+	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve ./internal/registry ./internal/transport ./internal/cluster
 
 ## fuzz: short never-panic smokes of the Harwell-Boeing reader and the
 ## transport solve-body decoder (same as CI).
@@ -83,3 +83,30 @@ loadurl:
 	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s \
 		-url http://127.0.0.1:18035 -json results/solveload.json; \
 	STATUS=$$?; kill -TERM $$SOLVED_PID; wait $$SOLVED_PID; exit $$STATUS
+
+## clustersmoke: the kill-a-backend acceptance test (the CI step) — three
+## race-built solved daemons behind a race-built solverouter, concurrent
+## traffic at the router, one backend SIGKILLed mid-stream; every request
+## must still be answered bitwise identical to the in-process solve.
+clustersmoke:
+	$(GO) test -race -run TestClusterSmoke -count=1 -timeout 10m -v ./cmd/solverouter
+
+## clusterload: regenerate results/solveload.json against a 3-backend
+## cluster — the router is started with a deliberately small solve budget
+## (-attempts 2) and the matrix is ingested without waiting, so the build
+## window surfaces at solveload as 503-with-Retry-After requests that are
+## retried and then succeed: the report's status_counts/retried_ok fields
+## must show retries and zero terminal failures.
+clusterload:
+	$(GO) build -o /tmp/sptrsv-solved ./cmd/solved
+	$(GO) build -o /tmp/sptrsv-solverouter ./cmd/solverouter
+	/tmp/sptrsv-solved -addr 127.0.0.1:18041 & B1=$$!; \
+	/tmp/sptrsv-solved -addr 127.0.0.1:18042 & B2=$$!; \
+	/tmp/sptrsv-solved -addr 127.0.0.1:18043 & B3=$$!; \
+	sleep 1; \
+	/tmp/sptrsv-solverouter -addr 127.0.0.1:18040 -attempts 2 \
+		-backends http://127.0.0.1:18041,http://127.0.0.1:18042,http://127.0.0.1:18043 & R=$$!; \
+	sleep 1; \
+	$(GO) run ./cmd/solveload -grid2d 255x255 -clients 8 -duration 5s -nobaseline \
+		-url http://127.0.0.1:18040 -json results/solveload.json; \
+	STATUS=$$?; kill -TERM $$R $$B1 $$B2 $$B3; wait; exit $$STATUS

@@ -8,11 +8,13 @@
 // speedup column is amortization made visible.
 //
 // With -url the same closed loop additionally drives a running solved
-// daemon (cmd/solved) over HTTP: the matrix is ingested at the daemon
-// under the problem's name, then the clients hammer POST /v1/solve with
-// the binary wire format — measuring the network serving path next to
-// the in-process one, so results/solveload.json carries both
-// datapoints.
+// daemon (cmd/solved) or cluster router (cmd/solverouter) over HTTP:
+// the matrix is ingested under the problem's name (without waiting for
+// the build), then the clients hammer POST /v1/solve with the binary
+// wire format through a retrying client that honors Retry-After — so
+// the report carries a per-status attempt breakdown and the count of
+// requests that retried through the build window (or a failover) and
+// still succeeded, next to the in-process datapoints.
 //
 // With -json the run is recorded as a BENCH_JSON document (throughput,
 // latency quantiles, path counters, batch-shape statistics) suitable for
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"sptrsv/internal/chol"
+	"sptrsv/internal/cluster"
 	"sptrsv/internal/faultinject"
 	"sptrsv/internal/harness"
 	"sptrsv/internal/mesh"
@@ -63,6 +66,16 @@ type sideReport struct {
 	P50Ms        float64 `json:"p50_ms,omitempty"`
 	P95Ms        float64 `json:"p95_ms,omitempty"`
 	P99Ms        float64 `json:"p99_ms,omitempty"`
+
+	// Network-side only: the per-attempt outcome breakdown from the
+	// retrying client. StatusCounts keys are HTTP status codes ("503",
+	// "429", ...) plus "connect"/"transport" for connection-level
+	// failures; a request that retried and then succeeded shows up here
+	// AND in RetriedOK, but not in Errors — Errors counts only terminal
+	// failures.
+	StatusCounts map[string]uint64 `json:"status_counts,omitempty"`
+	Retries      uint64            `json:"retries,omitempty"`    // extra attempts beyond each request's first
+	RetriedOK    uint64            `json:"retried_ok,omitempty"` // requests that retried and still succeeded
 }
 
 type report struct {
@@ -190,6 +203,19 @@ func main() {
 			net.SolvesPerSec, net.Requests, net.Errors, net.Overloaded)
 		fmt.Printf("  latency (client-observed): p50 %.3gms, p95 %.3gms, p99 %.3gms\n",
 			net.P50Ms, net.P95Ms, net.P99Ms)
+		if net.Retries > 0 || len(net.StatusCounts) > 0 {
+			keys := make([]string, 0, len(net.StatusCounts))
+			for k := range net.StatusCounts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s×%d", k, net.StatusCounts[k]))
+			}
+			fmt.Printf("  retries: %d requests retried then succeeded (%d extra attempts); attempt breakdown: %s\n",
+				net.RetriedOK, net.Retries, strings.Join(parts, ", "))
+		}
 	}
 
 	if *jsonPath != "" {
@@ -209,16 +235,21 @@ func main() {
 }
 
 // runNetworkSide drives the same closed loop against a running solved
-// daemon: the matrix is ingested under the problem's name (singleflight
-// on the daemon side makes re-runs cheap), then each client closed-loops
-// POST /v1/solve with the binary wire format. Latency quantiles are
-// client-observed — the network side has no in-process snapshot.
+// daemon or solverouter: the matrix is ingested under the problem's
+// name (singleflight on the daemon side makes re-runs cheap) WITHOUT
+// waiting for residency, then each client closed-loops POST /v1/solve
+// with the binary wire format through a retrying cluster.Client — so
+// the build window surfaces as 503-with-Retry-After attempts that are
+// retried and then succeed, all visible in the per-status breakdown.
+// Latency quantiles are client-observed (retry sleeps included — a
+// retried request really did take that long).
 func runNetworkSide(pr *harness.Prepared, problem, grid2d, baseURL string, clients int, d, reqTimeout time.Duration) (sideReport, error) {
 	spec := fmt.Sprintf(`{"grid2d":%q}`, strings.ToLower(grid2d))
 	if problem != "" {
 		spec = fmt.Sprintf(`{"problem":%q}`, problem)
 	}
-	ingestURL := strings.TrimRight(baseURL, "/") + "/v1/matrix/" + url.PathEscape(pr.Name) + "?wait=1"
+	base := strings.TrimRight(baseURL, "/")
+	ingestURL := base + "/v1/matrix/" + url.PathEscape(pr.Name)
 	req, err := http.NewRequest(http.MethodPut, ingestURL, strings.NewReader(spec))
 	if err != nil {
 		return sideReport{}, err
@@ -230,47 +261,88 @@ func runNetworkSide(pr *harness.Prepared, problem, grid2d, baseURL string, clien
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		return sideReport{}, fmt.Errorf("ingesting %s at daemon: %d (%s)", pr.Name, resp.StatusCode, body)
 	}
-	fmt.Printf("ingested %s at %s\n", pr.Name, baseURL)
+	fmt.Printf("ingested %s at %s (build in progress; the loop rides the 503 window)\n", pr.Name, baseURL)
 
-	solveURL := strings.TrimRight(baseURL, "/") + "/v1/solve/" + url.PathEscape(pr.Name)
+	// Per-attempt accounting, fed by the retry client's hook.
+	var (
+		countsMu     sync.Mutex
+		statusCounts = make(map[string]uint64)
+		retries      atomic.Uint64
+		retriedOK    atomic.Uint64
+	)
+	record := func(key string) {
+		countsMu.Lock()
+		statusCounts[key]++
+		countsMu.Unlock()
+	}
+	cli := &cluster.Client{
+		MaxAttempts:   8,
+		MaxRetryAfter: 2 * time.Second, // a closed loop should probe again soon, not park
+		OnAttempt: func(a cluster.Attempt) {
+			switch {
+			case a.Err != nil && a.Connect:
+				record("connect")
+			case a.Err != nil:
+				record("transport")
+			case a.Status != http.StatusOK:
+				record(fmt.Sprint(a.Status))
+			}
+		},
+	}
+
+	solvePath := "/v1/solve/" + url.PathEscape(pr.Name)
 	var rec latRecorder
 	rep := runSideRec(pr, clients, d, reqTimeout, &rec, func(ctx context.Context, rhs []float64) error {
 		b := transport.EncodeBlock(nil, &sparse.Block{N: pr.Sym.N, M: 1, Data: rhs})
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, solveURL, bytes.NewReader(b))
-		if err != nil {
-			return err
-		}
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return err
-		}
-		out, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		switch resp.StatusCode {
-		case http.StatusOK:
-			x, err := transport.DecodeBlock(out)
+		res, err := cli.Do(ctx, []string{base}, func(target string) (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, target+solvePath, bytes.NewReader(b))
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if x.N != pr.Sym.N || x.M != 1 {
-				return fmt.Errorf("daemon returned a %dx%d solution, want %dx1", x.N, x.M, pr.Sym.N)
+			req.Header.Set("Content-Type", "application/octet-stream")
+			return req, nil
+		})
+		if err != nil {
+			var se *cluster.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+				return &serve.OverloadError{}
 			}
-			return nil
-		case http.StatusTooManyRequests:
-			return &serve.OverloadError{}
-		default:
-			return fmt.Errorf("solve: %d (%s)", resp.StatusCode, out)
+			return err
 		}
+		out, err := io.ReadAll(res.Resp.Body)
+		res.Resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if res.Attempts > 1 {
+			retries.Add(uint64(res.Attempts - 1))
+			retriedOK.Add(1)
+		}
+		if res.Resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("solve: %d (%s)", res.Resp.StatusCode, out)
+		}
+		x, err := transport.DecodeBlock(out)
+		if err != nil {
+			return err
+		}
+		if x.N != pr.Sym.N || x.M != 1 {
+			return fmt.Errorf("daemon returned a %dx%d solution, want %dx1", x.N, x.M, pr.Sym.N)
+		}
+		return nil
 	})
 	rep.P50Ms = rec.quantileMs(0.50)
 	rep.P95Ms = rec.quantileMs(0.95)
 	rep.P99Ms = rec.quantileMs(0.99)
+	rep.Retries = retries.Load()
+	rep.RetriedOK = retriedOK.Load()
+	countsMu.Lock()
+	if len(statusCounts) > 0 {
+		rep.StatusCounts = statusCounts
+	}
+	countsMu.Unlock()
 	return rep, nil
 }
 

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestHealth(backends []string, cooldown time.Duration) (*Health, *time.Time) {
+	now := time.Unix(1000, 0)
+	h := NewHealth(backends, HealthConfig{
+		DownCooldown: cooldown,
+		now:          func() time.Time { return now },
+	})
+	return h, &now
+}
+
+// TestHealthStateMachine walks the documented up → suspect → down →
+// half-open → up path.
+func TestHealthStateMachine(t *testing.T) {
+	h, now := newTestHealth([]string{"a"}, 2*time.Second)
+	if s := h.State("a"); s != StateUp {
+		t.Fatalf("initial state %v, want up", s)
+	}
+
+	// One plain failure: suspect, not down.
+	h.ReportFailure("a", false)
+	if s := h.State("a"); s != StateSuspect {
+		t.Fatalf("after 1 failure: %v, want suspect", s)
+	}
+
+	// Reaching the threshold (default 3) downs it.
+	h.ReportFailure("a", false)
+	h.ReportFailure("a", false)
+	if s := h.State("a"); s != StateDown {
+		t.Fatalf("after 3 failures: %v, want down", s)
+	}
+
+	// Cooldown elapses: half-open, a probe candidate.
+	*now = now.Add(3 * time.Second)
+	if s := h.State("a"); s != StateHalfOpen {
+		t.Fatalf("after cooldown: %v, want half-open", s)
+	}
+
+	// Failure in half-open: straight back down with a fresh cooldown.
+	h.ReportFailure("a", false)
+	if s := h.State("a"); s != StateDown {
+		t.Fatalf("failed half-open probe: %v, want down", s)
+	}
+	*now = now.Add(time.Second) // cooldown not yet elapsed
+	if s := h.State("a"); s != StateDown {
+		t.Fatalf("mid-cooldown: %v, want down", s)
+	}
+
+	// Success from any state heals completely.
+	*now = now.Add(5 * time.Second)
+	h.ReportSuccess("a")
+	if s := h.State("a"); s != StateUp {
+		t.Fatalf("after success: %v, want up", s)
+	}
+}
+
+func TestHealthConnectErrorsWeighDouble(t *testing.T) {
+	h, _ := newTestHealth([]string{"a"}, time.Minute)
+	h.ReportFailure("a", true) // counts as 2 of the 3-failure threshold
+	if s := h.State("a"); s != StateSuspect {
+		t.Fatalf("after 1 connect failure: %v, want suspect", s)
+	}
+	h.ReportFailure("a", true)
+	if s := h.State("a"); s != StateDown {
+		t.Fatalf("after 2 connect failures: %v, want down", s)
+	}
+}
+
+func TestHealthSuccessResetsFailureCount(t *testing.T) {
+	h, _ := newTestHealth([]string{"a"}, time.Minute)
+	h.ReportFailure("a", false)
+	h.ReportFailure("a", false)
+	h.ReportSuccess("a")
+	h.ReportFailure("a", false)
+	if s := h.State("a"); s != StateSuspect {
+		t.Fatalf("failure count survived a success: %v, want suspect", s)
+	}
+}
+
+// TestHealthRank pins the routing order: up first, then suspect, then
+// half-open, downed backends last (kept as a last resort, never
+// dropped), stable within a class.
+func TestHealthRank(t *testing.T) {
+	h, _ := newTestHealth([]string{"a", "b", "c", "d"}, time.Minute)
+	// b: suspect. c: down. d stays up, a stays up.
+	h.ReportFailure("b", false)
+	h.ReportFailure("c", true)
+	h.ReportFailure("c", true)
+
+	got := h.Rank([]string{"c", "b", "a", "d"})
+	want := []string{"a", "d", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Rank returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank returned %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHealthUnknownBackendTreatedDown(t *testing.T) {
+	h, _ := newTestHealth([]string{"a"}, time.Minute)
+	// A backend the Health was never told about is ranked dead last —
+	// routing to an untracked address should only ever be a last resort.
+	if s := h.State("nope"); s != StateDown {
+		t.Fatalf("unknown backend state %v, want down", s)
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	h, _ := newTestHealth([]string{"a", "b"}, time.Minute)
+	h.ReportFailure("b", false)
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	states := map[string]string{}
+	for _, s := range snap {
+		states[s.Backend] = s.State
+	}
+	if states["a"] != StateUp.String() || states["b"] != StateSuspect.String() {
+		t.Fatalf("snapshot states %v", states)
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate backend accepted")
+	}
+}
+
+func TestRingReplicasDistinctAndClamped(t *testing.T) {
+	backends := []string{"http://h0", "http://h1", "http://h2"}
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-1, 0, 1, 2, 3, 4, 99} {
+		got := r.Replicas("grid2d-15", n)
+		want := n
+		if want < 1 {
+			want = 1
+		}
+		if want > len(backends) {
+			want = len(backends)
+		}
+		if len(got) != want {
+			t.Fatalf("Replicas(n=%d) returned %d backends, want %d", n, len(got), want)
+		}
+		seen := map[string]bool{}
+		for _, b := range got {
+			if seen[b] {
+				t.Fatalf("Replicas(n=%d) repeated backend %s: %v", n, b, got)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	backends := []string{"http://h0", "http://h1", "http://h2"}
+	r1, _ := NewRing(backends, 0)
+	// Same members in a different declaration order must yield the same
+	// placement — the ring hashes backend names, not list positions.
+	r2, _ := NewRing([]string{"http://h2", "http://h0", "http://h1"}, 0)
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("matrix-%d", i)
+		a, b := r1.Replicas(id, 2), r2.Replicas(id, 2)
+		if len(a) != len(b) {
+			t.Fatalf("id %s: %v vs %v", id, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("id %s: placement depends on declaration order: %v vs %v", id, a, b)
+			}
+		}
+	}
+}
+
+// TestRingStability pins the consistency property: removing one of
+// four backends must relocate only the keys that lived on it.
+func TestRingStability(t *testing.T) {
+	four := []string{"http://h0", "http://h1", "http://h2", "http://h3"}
+	three := four[:3]
+	rBig, _ := NewRing(four, 0)
+	rSmall, _ := NewRing(three, 0)
+
+	const keys = 500
+	moved := 0
+	for i := 0; i < keys; i++ {
+		id := fmt.Sprintf("matrix-%d", i)
+		before := rBig.Replicas(id, 1)[0]
+		after := rSmall.Replicas(id, 1)[0]
+		if before != after {
+			if before != "http://h3" {
+				t.Fatalf("id %s moved from surviving backend %s to %s", id, before, after)
+			}
+			moved++
+		}
+	}
+	// Roughly a quarter of the keys lived on h3; all of them (and only
+	// them) moved. Allow generous slack on the proportion.
+	if frac := float64(moved) / keys; frac < 0.10 || frac > 0.45 {
+		t.Fatalf("removing 1 of 4 backends moved %.0f%% of keys, want ≈25%%", frac*100)
+	}
+}
+
+// TestRingBalance checks virtual nodes spread primary ownership within
+// a loose factor of fair share.
+func TestRingBalance(t *testing.T) {
+	backends := []string{"http://h0", "http://h1", "http://h2", "http://h3", "http://h4"}
+	r, _ := NewRing(backends, DefaultVnodes)
+	counts := map[string]int{}
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		counts[r.Replicas(fmt.Sprintf("matrix-%d", i), 1)[0]]++
+	}
+	fair := float64(keys) / float64(len(backends))
+	for b, n := range counts {
+		if dev := math.Abs(float64(n)-fair) / fair; dev > 0.5 {
+			t.Fatalf("backend %s owns %d of %d keys (fair %.0f, deviation %.0f%%)", b, n, keys, fair, dev*100)
+		}
+	}
+}

@@ -1,0 +1,850 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the router tier: one HTTP front end over N solved
+// backends. Matrix ids are placed on the consistent-hash ring with a
+// replication factor of at least Replicas (HotReplicas once the
+// per-matrix serve counters scraped from the backends' /metrics say the
+// matrix is hot); ingest fans out to every replica, solve goes to the
+// healthiest replica and fails over through the rest. The router is
+// deliberately stateless about answers — it never caches a solution —
+// so "zero lost answers" is purely a property of retry + replication.
+
+// RouterConfig tunes a Router. Backends is required; every other zero
+// value selects a default.
+type RouterConfig struct {
+	// Backends are the solved base URLs (e.g. http://127.0.0.1:8041).
+	Backends []string
+	// Vnodes per backend on the hash ring; 0 means DefaultVnodes.
+	Vnodes int
+	// Replicas is the base replication factor; 0 means 2 (always clamped
+	// to len(Backends)).
+	Replicas int
+	// HotReplicas is the replication factor of a hot matrix; 0 means
+	// Replicas+1.
+	HotReplicas int
+	// HotQPS promotes a matrix to HotReplicas when its aggregate
+	// accepted-requests rate (summed over backends) reaches this; 0
+	// means 50.
+	HotQPS float64
+	// CoolQPS demotes a hot matrix when its rate falls below this; 0
+	// means HotQPS/4 (hysteresis so a matrix hovering at the threshold
+	// does not flap).
+	CoolQPS float64
+	// ProbeInterval spaces active health probes and metrics scrapes; 0
+	// means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe; 0 means 500ms.
+	ProbeTimeout time.Duration
+	// SolveAttempts bounds the retry client's attempts per solve; 0
+	// means 2×len(Backends) (enough to cycle every replica twice).
+	SolveAttempts int
+	// AttemptTimeout bounds one proxied solve attempt so a stalled
+	// backend turns into a failover, not a hang; 0 means 30s.
+	AttemptTimeout time.Duration
+	// Health tunes the per-backend state machine.
+	Health HealthConfig
+}
+
+func (c *RouterConfig) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Backends) {
+		c.Replicas = len(c.Backends)
+	}
+	if c.HotReplicas <= 0 {
+		c.HotReplicas = c.Replicas + 1
+	}
+	if c.HotReplicas > len(c.Backends) {
+		c.HotReplicas = len(c.Backends)
+	}
+	if c.HotQPS <= 0 {
+		c.HotQPS = 50
+	}
+	if c.CoolQPS <= 0 {
+		c.CoolQPS = c.HotQPS / 4
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.SolveAttempts <= 0 {
+		c.SolveAttempts = 2 * len(c.Backends)
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+}
+
+// PartialError is the typed partial-failure of an ingest fan-out: some
+// replicas accepted the matrix, some did not. The matrix is servable
+// (Succeeded is non-empty whenever PartialError is returned instead of
+// a total failure), but at reduced redundancy until repair re-ingests
+// the failed replicas.
+type PartialError struct {
+	ID        string
+	Succeeded []string
+	Failed    map[string]error
+}
+
+func (e *PartialError) Error() string {
+	fails := make([]string, 0, len(e.Failed))
+	for b, err := range e.Failed {
+		fails = append(fails, fmt.Sprintf("%s: %v", b, err))
+	}
+	sort.Strings(fails)
+	return fmt.Sprintf("cluster: ingest of %q reached %d/%d replicas (failed: %s)",
+		e.ID, len(e.Succeeded), len(e.Succeeded)+len(e.Failed), strings.Join(fails, "; "))
+}
+
+// matrixState is the router's record of one ingested matrix.
+type matrixState struct {
+	id          string
+	body        []byte // stored ingest body, replayed on promotion/repair
+	contentType string
+	query       string // original ingest query (strategy etc), minus wait
+	hot         bool
+	replicas    []string // current ring placement, preference order
+
+	lastTotal  float64 // accepted-counter sum at the last scrape
+	lastScrape time.Time
+	qps        float64
+}
+
+// routerMetrics are the router's own counters, exported at /metrics.
+type routerMetrics struct {
+	solves      atomic.Uint64 // solve requests entering the router
+	solveOK     atomic.Uint64
+	retries     atomic.Uint64 // extra attempts beyond the first, all routes
+	failovers   atomic.Uint64 // solves answered by a non-first-choice replica
+	exhausted   atomic.Uint64 // solves that ran out of retry budget
+	ingests     atomic.Uint64
+	ingestPart  atomic.Uint64 // ingests that reached only part of the replica set
+	promotions  atomic.Uint64
+	demotions   atomic.Uint64
+	repairs     atomic.Uint64 // async re-ingests triggered by 404/410 from a replica
+	probeCycles atomic.Uint64
+}
+
+// Router is the cluster front end. Construct with NewRouter, serve it
+// as an http.Handler, stop with Close.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	health *Health
+	solve  *Client // retrying client for proxied solves (attempt-bounded)
+	ingest *Client // retrying client for ingest/control (no attempt bound: builds take time)
+	httpc  *http.Client
+	mux    *http.ServeMux
+	met    routerMetrics
+
+	mu        sync.Mutex
+	matrices  map[string]*matrixState
+	repairing map[string]bool // backend+"|"+id with a repair in flight
+
+	stop   chan struct{}
+	cancel context.CancelFunc // ends background repair/rebalance contexts
+	ctx    context.Context
+	wg     sync.WaitGroup
+}
+
+// NewRouter builds the router and starts its probe/rebalance loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg.fill()
+	ring, err := NewRing(cfg.Backends, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		health:    NewHealth(cfg.Backends, cfg.Health),
+		matrices:  make(map[string]*matrixState),
+		repairing: make(map[string]bool),
+		stop:      make(chan struct{}),
+	}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	rt.httpc = &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	// Every proxied attempt feeds the health machine: a real answer
+	// (even a 4xx) proves the process alive; connect errors, 500 and 502
+	// mark it. 503/404/410 are deliberately neither success nor failure —
+	// they describe matrix state, not backend sickness (a building matrix
+	// must not blackhole its backend) — but 404/410 do trigger async
+	// repair, since they are the signature of a restarted or evicted
+	// replica.
+	onAttempt := func(a Attempt) {
+		switch {
+		case a.Err != nil,
+			a.Status == http.StatusInternalServerError,
+			a.Status == http.StatusBadGateway:
+			rt.health.ReportFailure(a.Target, a.Connect)
+		case !retryableStatus(a.Status) && a.Status != http.StatusNotFound:
+			rt.health.ReportSuccess(a.Target)
+		}
+		if a.Status == http.StatusNotFound || a.Status == http.StatusGone {
+			rt.scheduleRepair(a.Target)
+		}
+	}
+	rt.solve = &Client{
+		HTTP:           rt.httpc,
+		MaxAttempts:    cfg.SolveAttempts,
+		AttemptTimeout: cfg.AttemptTimeout,
+		RetryOn:        []int{http.StatusNotFound},
+		OnAttempt:      onAttempt,
+	}
+	rt.ingest = &Client{
+		HTTP:        rt.httpc,
+		MaxAttempts: 3,
+		OnAttempt:   onAttempt,
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("PUT /v1/matrix/{id}", rt.handleIngest)
+	rt.mux.HandleFunc("DELETE /v1/matrix/{id}", rt.handleEvict)
+	rt.mux.HandleFunc("GET /v1/matrix/{id}", rt.handleStatus)
+	rt.mux.HandleFunc("POST /v1/solve/{id}", rt.handleSolve)
+	rt.mux.HandleFunc("GET /v1/matrices", rt.handleList)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Close stops the probe loop. In-flight proxied requests finish on
+// their own contexts.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.cancel()
+	rt.wg.Wait()
+	rt.httpc.CloseIdleConnections()
+}
+
+// Health exposes the backend health tracker (metrics, tests).
+func (rt *Router) Health() *Health { return rt.health }
+
+// replicasFor returns the current replica set of id in ring preference
+// order, deriving it from the base factor for ids the router has not
+// ingested (direct-at-backend ingests still route).
+func (rt *Router) replicasFor(id string) []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m := rt.matrices[id]; m != nil {
+		return m.replicas
+	}
+	return rt.ring.Replicas(id, rt.cfg.Replicas)
+}
+
+// ---- solve ----
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.met.solves.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading solve body: %w", err))
+		return
+	}
+	if len(body) > maxProxyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("cluster: solve body exceeds %d bytes", maxProxyBytes))
+		return
+	}
+	targets := rt.health.Rank(rt.replicasFor(id))
+	q := ""
+	if r.URL.RawQuery != "" {
+		q = "?" + r.URL.RawQuery
+	}
+	res, err := rt.solve.Do(r.Context(), targets, func(target string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost,
+			target+"/v1/solve/"+url.PathEscape(id)+q, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
+	if err != nil {
+		rt.met.exhausted.Add(1)
+		writeExhausted(w, err)
+		return
+	}
+	if res.Attempts > 1 {
+		rt.met.retries.Add(uint64(res.Attempts - 1))
+	}
+	if res.Target != targets[0] {
+		rt.met.failovers.Add(1)
+	}
+	if res.Resp.StatusCode == http.StatusOK {
+		rt.met.solveOK.Add(1)
+	}
+	copyResponse(w, res.Resp)
+}
+
+// maxProxyBytes bounds a proxied body (matches the transport layer's
+// solve bound).
+const maxProxyBytes = 256 << 20
+
+// writeExhausted maps a Do failure onto the client-facing status: the
+// last backend cause's status when there was one, 504 when the caller's
+// budget ended the call, 502 when every replica was unreachable. 503 and
+// 429 keep a Retry-After so well-behaved clients (and the solveload
+// breakdown) know to come back.
+func writeExhausted(w http.ResponseWriter, err error) {
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		if se.Code == http.StatusServiceUnavailable || se.Code == http.StatusTooManyRequests {
+			secs := int64(1)
+			if se.RetryAfter > 0 {
+				secs = int64((se.RetryAfter + time.Second - 1) / time.Second)
+			}
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+		}
+		writeError(w, se.Code, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusBadGateway, err)
+	}
+}
+
+// copyResponse relays a backend response verbatim.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// ---- ingest ----
+
+// clusterIngest is the JSON reply of a routed ingest.
+type clusterIngest struct {
+	ID       string            `json:"id"`
+	Replicas []string          `json:"replicas"`
+	Hot      bool              `json:"hot,omitempty"`
+	Statuses map[string]string `json:"statuses"`        // backend → state or error
+	Error    string            `json:"error,omitempty"` // partial-failure detail
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.met.ingests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading ingest body: %w", err))
+		return
+	}
+	if len(body) > maxProxyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("cluster: ingest body exceeds %d bytes", maxProxyBytes))
+		return
+	}
+
+	rt.mu.Lock()
+	m := rt.matrices[id]
+	if m == nil {
+		m = &matrixState{id: id}
+		rt.matrices[id] = m
+	}
+	m.body = body
+	m.contentType = r.Header.Get("Content-Type")
+	m.query = stripQueryParam(r.URL.Query(), "wait")
+	rf := rt.cfg.Replicas
+	hot := m.hot
+	if hot {
+		rf = rt.cfg.HotReplicas
+	}
+	m.replicas = rt.ring.Replicas(id, rf)
+	replicas := append([]string(nil), m.replicas...)
+	rt.mu.Unlock()
+
+	wait := r.URL.Query().Get("wait")
+	ing, perr := rt.ingestAt(r.Context(), id, replicas, wait)
+	out := clusterIngest{ID: id, Replicas: replicas, Hot: hot, Statuses: ing}
+	switch {
+	case perr == nil:
+		code := http.StatusAccepted
+		if wantWaitValue(wait) {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, out)
+	case len(ing) > 0 && anySucceeded(perr):
+		rt.met.ingestPart.Add(1)
+		out.Error = perr.Error()
+		writeJSON(w, http.StatusAccepted, out)
+	default:
+		out.Error = perr.Error()
+		writeJSON(w, http.StatusBadGateway, out)
+	}
+}
+
+// ingestAt fans the stored ingest body of id out to the given replicas
+// concurrently, each with per-backend retry. The per-backend outcome
+// map always comes back; the error is nil (all succeeded), a
+// *PartialError (some did), or a plain error (none did).
+func (rt *Router) ingestAt(ctx context.Context, id string, replicas []string, wait string) (map[string]string, error) {
+	rt.mu.Lock()
+	m := rt.matrices[id]
+	if m == nil {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("cluster: no stored ingest spec for %q", id)
+	}
+	body, ct, query := m.body, m.contentType, m.query
+	rt.mu.Unlock()
+	if wantWaitValue(wait) {
+		if query != "" {
+			query += "&"
+		}
+		query += "wait=" + url.QueryEscape(wait)
+	}
+	q := ""
+	if query != "" {
+		q = "?" + query
+	}
+
+	type outcome struct {
+		backend string
+		status  string
+		err     error
+	}
+	results := make(chan outcome, len(replicas))
+	for _, b := range replicas {
+		go func(b string) {
+			res, err := rt.ingest.Do(ctx, []string{b}, func(target string) (*http.Request, error) {
+				req, err := http.NewRequest(http.MethodPut,
+					target+"/v1/matrix/"+url.PathEscape(id)+q, bytes.NewReader(body))
+				if err != nil {
+					return nil, err
+				}
+				if ct != "" {
+					req.Header.Set("Content-Type", ct)
+				}
+				return req, nil
+			})
+			if err != nil {
+				results <- outcome{backend: b, err: err}
+				return
+			}
+			snippet, _ := io.ReadAll(io.LimitReader(res.Resp.Body, errBodyMax))
+			res.Resp.Body.Close()
+			if res.Resp.StatusCode/100 != 2 {
+				results <- outcome{backend: b, err: &StatusError{
+					Target: b, Code: res.Resp.StatusCode, Body: string(snippet)}}
+				return
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			state := "accepted"
+			if json.Unmarshal(snippet, &st) == nil && st.State != "" {
+				state = st.State
+			}
+			results <- outcome{backend: b, status: state}
+		}(b)
+	}
+	statuses := make(map[string]string, len(replicas))
+	perr := &PartialError{ID: id, Failed: make(map[string]error)}
+	for range replicas {
+		o := <-results
+		if o.err != nil {
+			statuses[o.backend] = o.err.Error()
+			perr.Failed[o.backend] = o.err
+		} else {
+			statuses[o.backend] = o.status
+			perr.Succeeded = append(perr.Succeeded, o.backend)
+		}
+	}
+	if len(perr.Failed) == 0 {
+		return statuses, nil
+	}
+	if len(perr.Succeeded) == 0 {
+		return statuses, fmt.Errorf("cluster: ingest of %q failed on every replica: %w", id, firstErr(perr.Failed))
+	}
+	sort.Strings(perr.Succeeded)
+	return statuses, perr
+}
+
+func firstErr(m map[string]error) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return m[keys[0]]
+}
+
+func anySucceeded(err error) bool {
+	var pe *PartialError
+	return errors.As(err, &pe) && len(pe.Succeeded) > 0
+}
+
+func wantWaitValue(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// stripQueryParam re-encodes q without the named parameter.
+func stripQueryParam(q url.Values, name string) string {
+	q.Del(name)
+	return q.Encode()
+}
+
+// ---- evict / status / list ----
+
+func (rt *Router) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	m := rt.matrices[id]
+	var replicas []string
+	if m != nil {
+		replicas = append(replicas, m.replicas...)
+		delete(rt.matrices, id)
+	}
+	rt.mu.Unlock()
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: matrix %q not routed here", id))
+		return
+	}
+	for _, b := range replicas {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete,
+			b+"/v1/matrix/"+url.PathEscape(id), nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := rt.httpc.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	replicas := rt.health.Rank(rt.replicasFor(id))
+	res, err := rt.solve.Do(r.Context(), replicas, func(target string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, target+"/v1/matrix/"+url.PathEscape(id), nil)
+	})
+	if err != nil {
+		writeExhausted(w, err)
+		return
+	}
+	copyResponse(w, res.Resp)
+}
+
+// RouteStatus is one routed matrix in the router's table.
+type RouteStatus struct {
+	ID       string   `json:"id"`
+	Replicas []string `json:"replicas"`
+	Hot      bool     `json:"hot"`
+	QPS      float64  `json:"qps"`
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Routes())
+}
+
+// Routes returns the routing table, sorted by id.
+func (rt *Router) Routes() []RouteStatus {
+	rt.mu.Lock()
+	out := make([]RouteStatus, 0, len(rt.matrices))
+	for _, m := range rt.matrices {
+		out = append(out, RouteStatus{
+			ID: m.id, Replicas: append([]string(nil), m.replicas...),
+			Hot: m.hot, QPS: m.qps,
+		})
+	}
+	rt.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---- probe / rebalance / repair loop ----
+
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeOnce()
+			rt.rebalanceOnce()
+		}
+	}
+}
+
+// probeOnce actively probes every backend's /healthz.
+func (rt *Router) probeOnce() {
+	rt.met.probeCycles.Add(1)
+	var wg sync.WaitGroup
+	for _, b := range rt.cfg.Backends {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.httpc.Do(req)
+			if err != nil {
+				rt.health.ReportFailure(b, true)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				rt.health.ReportSuccess(b)
+			} else {
+				rt.health.ReportFailure(b, false)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// rebalanceOnce scrapes the per-matrix accepted counters from every
+// usable backend's /metrics, recomputes each routed matrix's aggregate
+// QPS, and promotes/demotes replication factors, re-ingesting at newly
+// assigned replicas.
+func (rt *Router) rebalanceOnce() {
+	totals := make(map[string]float64)
+	for _, b := range rt.cfg.Backends {
+		if rt.health.State(b) != StateUp {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b+"/metrics", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.httpc.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		cancel()
+		for id, v := range parseAcceptedTotals(body) {
+			totals[id] += v
+		}
+	}
+
+	now := time.Now()
+	var grow []*matrixState
+	rt.mu.Lock()
+	for id, m := range rt.matrices {
+		total, seen := totals[id]
+		if !seen {
+			continue
+		}
+		if !m.lastScrape.IsZero() {
+			dt := now.Sub(m.lastScrape).Seconds()
+			if dt > 0 {
+				qps := (total - m.lastTotal) / dt
+				if qps < 0 {
+					qps = 0 // a replica restarted; its counter reset
+				}
+				m.qps = qps
+			}
+			switch {
+			case !m.hot && m.qps >= rt.cfg.HotQPS && rt.cfg.HotReplicas > len(m.replicas):
+				m.hot = true
+				m.replicas = rt.ring.Replicas(id, rt.cfg.HotReplicas)
+				grow = append(grow, m)
+				rt.met.promotions.Add(1)
+			case m.hot && m.qps < rt.cfg.CoolQPS:
+				m.hot = false
+				m.replicas = rt.ring.Replicas(id, rt.cfg.Replicas)
+				rt.met.demotions.Add(1)
+				// Demotion only narrows the preferred set; the extra copy is
+				// left to the backend's own LRU eviction rather than torn out
+				// from under possible in-flight solves.
+			}
+		}
+		m.lastTotal, m.lastScrape = total, now
+	}
+	rt.mu.Unlock()
+
+	for _, m := range grow {
+		rt.mu.Lock()
+		replicas := append([]string(nil), m.replicas...)
+		rt.mu.Unlock()
+		ctx, cancel := context.WithTimeout(rt.ctx, time.Minute)
+		rt.ingestAt(ctx, m.id, replicas, "")
+		cancel()
+	}
+}
+
+// scheduleRepair re-ingests every routed matrix at a backend that
+// answered 404/410 — the signature of a restarted (empty-registry) or
+// evicted-under-pressure replica. Deduplicated per backend+matrix; runs
+// asynchronously so the triggering request is not delayed.
+func (rt *Router) scheduleRepair(backend string) {
+	rt.mu.Lock()
+	var jobs []*matrixState
+	for _, m := range rt.matrices {
+		for _, b := range m.replicas {
+			if b != backend {
+				continue
+			}
+			key := backend + "|" + m.id
+			if !rt.repairing[key] {
+				rt.repairing[key] = true
+				jobs = append(jobs, m)
+			}
+		}
+	}
+	rt.mu.Unlock()
+	for _, m := range jobs {
+		rt.met.repairs.Add(1)
+		rt.wg.Add(1)
+		go func(id string) {
+			defer rt.wg.Done()
+			ctx, cancel := context.WithTimeout(rt.ctx, time.Minute)
+			rt.ingestAt(ctx, id, []string{backend}, "")
+			cancel()
+			rt.mu.Lock()
+			delete(rt.repairing, backend+"|"+id)
+			rt.mu.Unlock()
+		}(m.id)
+	}
+}
+
+// parseAcceptedTotals extracts sptrsv_serve_accepted_total{matrix="id"}
+// samples from a backend's Prometheus exposition.
+func parseAcceptedTotals(body []byte) map[string]float64 {
+	const prefix = `sptrsv_serve_accepted_total{matrix="`
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		// The id is a Go-quoted string body; find its closing quote
+		// respecting escapes, then the value after "} ".
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			continue
+		}
+		id, err := strconv.Unquote(`"` + rest[:end] + `"`)
+		if err != nil {
+			continue
+		}
+		val := strings.TrimSpace(strings.TrimPrefix(rest[end:], `"} `))
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// ---- router metrics ----
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	m := &rt.met
+	counter("sptrsv_cluster_solves_total", "Solve requests entering the router.", m.solves.Load())
+	counter("sptrsv_cluster_solves_ok_total", "Solve requests answered 200.", m.solveOK.Load())
+	counter("sptrsv_cluster_retries_total", "Backend attempts beyond each request's first.", m.retries.Load())
+	counter("sptrsv_cluster_failovers_total", "Solves answered by a non-first-choice replica.", m.failovers.Load())
+	counter("sptrsv_cluster_exhausted_total", "Requests that ran out of retry budget.", m.exhausted.Load())
+	counter("sptrsv_cluster_ingests_total", "Ingest requests entering the router.", m.ingests.Load())
+	counter("sptrsv_cluster_ingest_partial_total", "Ingests that reached only part of the replica set.", m.ingestPart.Load())
+	counter("sptrsv_cluster_hot_promotions_total", "Matrices promoted to the hot replication factor.", m.promotions.Load())
+	counter("sptrsv_cluster_hot_demotions_total", "Matrices demoted back to the base replication factor.", m.demotions.Load())
+	counter("sptrsv_cluster_repairs_total", "Async re-ingests triggered by a replica answering 404/410.", m.repairs.Load())
+	counter("sptrsv_cluster_probe_cycles_total", "Active health-probe sweeps completed.", m.probeCycles.Load())
+
+	fmt.Fprintf(&sb, "# HELP sptrsv_cluster_backend_up Backend usability (1 = up, 0.75 = suspect, 0.5 = half-open, 0 = down).\n# TYPE sptrsv_cluster_backend_up gauge\n")
+	stateVal := map[string]float64{"up": 1, "suspect": 0.75, "half-open": 0.5, "down": 0}
+	for _, bh := range rt.health.Snapshot() {
+		fmt.Fprintf(&sb, "sptrsv_cluster_backend_up{backend=%q} %g\n", bh.Backend, stateVal[bh.State])
+	}
+	fmt.Fprintf(&sb, "# HELP sptrsv_cluster_matrix_replicas Current replica count per routed matrix.\n# TYPE sptrsv_cluster_matrix_replicas gauge\n")
+	for _, rs := range rt.Routes() {
+		fmt.Fprintf(&sb, "sptrsv_cluster_matrix_replicas{matrix=%q} %d\n", rs.ID, len(rs.Replicas))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, sb.String())
+}
+
+// ---- shared JSON helpers ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

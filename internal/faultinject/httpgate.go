@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// This file extends fault injection from the solver's task schedule to
+// the network edge, so the cluster layer (internal/cluster) can be
+// tested against backend failure modes deterministically — without
+// relying only on SIGKILLing a process:
+//
+//	GateRefuse   accepted connections are closed immediately: clients
+//	             see a connection-level failure, exactly what a dead
+//	             process produces.
+//	GateStall    requests are accepted but the handler blocks until the
+//	             gate reopens or the request's context ends: the
+//	             wedged-but-listening backend.
+//	GatePass     transparent.
+//
+// One HTTPGate covers both directions: wrap the backend's listener with
+// Listener (connect errors) and its handler with Middleware (stalls).
+// Mode switches take effect for new connections/requests immediately;
+// reopening a stalled gate releases every request blocked in it.
+
+// GateMode selects the HTTPGate failure mode.
+type GateMode int
+
+const (
+	GatePass GateMode = iota
+	GateRefuse
+	GateStall
+)
+
+func (m GateMode) String() string {
+	switch m {
+	case GatePass:
+		return "pass"
+	case GateRefuse:
+		return "refuse"
+	case GateStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// HTTPGate is a switchable fault point in front of one HTTP backend.
+// The zero value passes; Set flips modes at any time, from any
+// goroutine.
+type HTTPGate struct {
+	mu     sync.Mutex
+	mode   GateMode
+	reopen chan struct{} // closed when leaving GateStall; recreated on entry
+}
+
+// NewHTTPGate returns a gate in GatePass.
+func NewHTTPGate() *HTTPGate { return &HTTPGate{} }
+
+// Set switches the gate's mode. Leaving GateStall releases every
+// request currently blocked in Middleware.
+func (g *HTTPGate) Set(mode GateMode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.mode == GateStall && mode != GateStall && g.reopen != nil {
+		close(g.reopen)
+		g.reopen = nil
+	}
+	if mode == GateStall && g.mode != GateStall {
+		g.reopen = make(chan struct{})
+	}
+	g.mode = mode
+}
+
+// Mode reports the current mode.
+func (g *HTTPGate) Mode() GateMode {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.mode
+}
+
+// Listener wraps ln so that, while the gate is in GateRefuse, accepted
+// connections are closed before a byte is exchanged — the client
+// observes a reset, the same connection-level failure a SIGKILLed
+// backend produces (the listening socket of a live-but-gated process
+// still accepts; closing instantly is the deterministic stand-in).
+func (g *HTTPGate) Listener(ln net.Listener) net.Listener {
+	return &gateListener{Listener: ln, gate: g}
+}
+
+type gateListener struct {
+	net.Listener
+	gate *HTTPGate
+}
+
+func (l *gateListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.gate.Mode() == GateRefuse {
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
+
+// Middleware wraps h so that, while the gate is in GateStall, requests
+// block before reaching h until the gate leaves GateStall (the request
+// then proceeds normally) or the request's context ends (the handler
+// returns without writing — the client sees its own timeout or a
+// truncated response, like a wedged backend).
+func (g *HTTPGate) Middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.mu.Lock()
+		reopen := g.reopen
+		stalled := g.mode == GateStall
+		g.mu.Unlock()
+		if stalled {
+			select {
+			case <-reopen:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newGatedServer(t *testing.T) (*httptest.Server, *HTTPGate) {
+	t.Helper()
+	gate := NewHTTPGate()
+	srv := httptest.NewUnstartedServer(gate.Middleware(http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) { io.WriteString(w, "ok") })))
+	srv.Listener = gate.Listener(srv.Listener)
+	srv.Start()
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { gate.Set(GatePass) })
+	return srv, gate
+}
+
+// noKeepAliveGet issues a GET on a fresh connection, so gate-mode
+// changes cannot be bypassed by a pooled conn.
+func noKeepAliveGet(url string) (*http.Response, error) {
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer c.CloseIdleConnections()
+	return c.Get(url)
+}
+
+func TestHTTPGatePassAndRefuse(t *testing.T) {
+	srv, gate := newGatedServer(t)
+
+	resp, err := noKeepAliveGet(srv.URL)
+	if err != nil {
+		t.Fatalf("GatePass: %v", err)
+	}
+	resp.Body.Close()
+
+	gate.Set(GateRefuse)
+	if _, err := noKeepAliveGet(srv.URL); err == nil {
+		t.Fatal("GateRefuse: request succeeded, want a connection-level error")
+	}
+
+	gate.Set(GatePass)
+	resp, err = noKeepAliveGet(srv.URL)
+	if err != nil {
+		t.Fatalf("reopened gate: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPGateStallBlocksUntilReopen(t *testing.T) {
+	srv, gate := newGatedServer(t)
+	gate.Set(GateStall)
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := noKeepAliveGet(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled request returned early (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	gate.Set(GatePass)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("request after reopen: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reopening the gate did not release the stalled request")
+	}
+}
+
+func TestHTTPGateStallRespectsRequestContext(t *testing.T) {
+	srv, gate := newGatedServer(t)
+	gate.Set(GateStall)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("stalled request with expired context succeeded")
+	}
+	if took := time.Since(t0); took > 2*time.Second {
+		t.Fatalf("context-bounded stalled request took %v", took)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sptrsv/internal/chol"
 	"sptrsv/internal/harness"
@@ -130,6 +131,10 @@ type entry struct {
 	// Register time and read by the build goroutine.
 	serveCfg serve.Config
 
+	// buildStart stamps Register time so BuildETA can subtract elapsed
+	// build time from the duration estimate.
+	buildStart time.Time
+
 	pr  *harness.Prepared
 	f   *chol.Factor
 	srv *serve.Server
@@ -166,6 +171,7 @@ type Registry struct {
 
 	evictions     uint64
 	buildFailures uint64
+	buildEWMA     time.Duration // smoothed successful-build duration (0 = no history)
 	wg            sync.WaitGroup // in-flight build goroutines
 }
 
@@ -206,7 +212,8 @@ func (r *Registry) register(id string, src Source, cfg serve.Config) error {
 	if e, ok := r.entries[id]; ok && (e.state == stateBuilding || e.state == stateResident) {
 		return nil // singleflight: a usable entry already exists
 	}
-	e := &entry{id: id, state: stateBuilding, built: make(chan struct{}), serveCfg: cfg}
+	e := &entry{id: id, state: stateBuilding, built: make(chan struct{}),
+		serveCfg: cfg, buildStart: time.Now()}
 	r.entries[id] = e
 	r.wg.Add(1)
 	go r.build(e, src)
@@ -240,7 +247,39 @@ func (r *Registry) build(e *entry, src Source) {
 	e.baseBytes = f.NnzL() * 8
 	e.state = stateResident
 	e.lastUse = r.tick()
+	// Fold this build into the duration estimate BuildETA serves from.
+	// EWMA with α = 1/4: stable under one outlier, tracks a workload
+	// shift (bigger matrices) within a few builds.
+	if d := time.Since(e.buildStart); r.buildEWMA == 0 {
+		r.buildEWMA = d
+	} else {
+		r.buildEWMA += (d - r.buildEWMA) / 4
+	}
 	r.evictOverBudget(e)
+}
+
+// BuildETA estimates the remaining build time of a building id: the
+// smoothed duration of past successful builds minus the time this build
+// has already run (floored at zero — "any moment now"). ok is false
+// when the id is not building; eta 0 with ok true means either
+// imminent or no history to estimate from. This is what makes the
+// transport layer's 503 Retry-After honest instead of a hardcoded
+// constant.
+func (r *Registry) BuildETA(id string) (eta time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, found := r.entries[id]
+	if !found || e.state != stateBuilding {
+		return 0, false
+	}
+	if r.buildEWMA == 0 {
+		return 0, true
+	}
+	eta = r.buildEWMA - time.Since(e.buildStart)
+	if eta < 0 {
+		eta = 0
+	}
+	return eta, true
 }
 
 func (r *Registry) tick() uint64 {
@@ -459,6 +498,11 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 	if e.draining {
 		st.State = "draining"
 	}
+	if e.state == stateBuilding && r.buildEWMA > 0 {
+		if eta := r.buildEWMA - time.Since(e.buildStart); eta > 0 {
+			st.EtaMillis = eta.Milliseconds()
+		}
+	}
 	if e.err != nil {
 		st.Error = e.err.Error()
 	}
@@ -486,7 +530,10 @@ type MatrixStatus struct {
 	// Strategy is the resolved execution schedule of the matrix's solver
 	// (subtree | levelset | hybrid), reported while resident or draining.
 	Strategy string `json:"strategy,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// EtaMillis estimates the remaining build time while building (from
+	// the registry's smoothed past-build durations); 0 when unknown.
+	EtaMillis int64  `json:"eta_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Stats are the registry-level gauges the metrics endpoint exports.

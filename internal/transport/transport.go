@@ -25,11 +25,12 @@
 //	                       plus registry gauges
 //	GET  /healthz          liveness
 //
-// Error mapping: registry.ErrBuilding → 503 (with Retry-After),
+// Error mapping: registry.ErrBuilding → 503 (with a Retry-After derived
+// from the registry's build-time estimate, see Registry.BuildETA),
 // registry.ErrNotFound → 404, registry.ErrEvicted → 410,
-// *serve.OverloadError → 429, deadline/cancel → 504, a failed build →
-// 502, solver rejection of the request shape → 400, an exhausted
-// degradation ladder → 500.
+// *serve.OverloadError → 429 (Retry-After from Config.OverloadRetryAfter),
+// deadline/cancel → 504, a failed build → 502, solver rejection of the
+// request shape → 400, an exhausted degradation ladder → 500.
 package transport
 
 import (
@@ -55,15 +56,37 @@ const maxIngestBytes = 64 << 20
 // maxSolveBytes bounds a POST /v1/solve body.
 const maxSolveBytes = 256 << 20
 
+// Config tunes a Service. The zero value selects defaults.
+type Config struct {
+	// OverloadRetryAfter is the Retry-After hint attached to 429
+	// (admission queue full) and to 503s that carry no build estimate
+	// (draining, or a first-ever build with no duration history).
+	// 0 means 1s.
+	OverloadRetryAfter time.Duration
+}
+
+func (c *Config) fill() {
+	if c.OverloadRetryAfter <= 0 {
+		c.OverloadRetryAfter = time.Second
+	}
+}
+
 // Service serves HTTP over one registry.
 type Service struct {
 	reg *registry.Registry
+	cfg Config
 	mux *http.ServeMux
 }
 
-// New builds the service and its routing table.
+// New builds the service and its routing table with default Config.
 func New(reg *registry.Registry) *Service {
-	s := &Service{reg: reg, mux: http.NewServeMux()}
+	return NewWith(reg, Config{})
+}
+
+// NewWith is New with an explicit Config.
+func NewWith(reg *registry.Registry, cfg Config) *Service {
+	cfg.fill()
+	s := &Service{reg: reg, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("PUT /v1/matrix/{id}", s.handlePut)
 	s.mux.HandleFunc("GET /v1/matrix/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/matrix/{id}", s.handleEvict)
@@ -151,17 +174,17 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading ingest body: %w", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading ingest body: %w", err), id)
 		return
 	}
 	if len(body) > maxIngestBytes {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes))
+		s.httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes), id)
 		return
 	}
 	src, strategy, err := sourceFor(r, body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err, id)
 		return
 	}
 	if strategy == "" {
@@ -169,26 +192,26 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 	} else {
 		strat, perr := native.ParseStrategy(strategy)
 		if perr != nil {
-			httpError(w, http.StatusBadRequest, perr)
+			s.httpError(w, http.StatusBadRequest, perr, id)
 			return
 		}
 		err = s.reg.RegisterWith(id, src, registry.BuildOptions{Strategy: strat})
 	}
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 	if wantWait(r) {
 		h, err := s.reg.AcquireWait(id, r.Context().Done())
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			s.httpError(w, statusFor(err), err, id)
 			return
 		}
 		h.Release()
 	}
 	st, err := s.reg.Status(id)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 	code := http.StatusAccepted
@@ -207,17 +230,19 @@ func wantWait(r *http.Request) bool {
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.reg.Status(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, err := s.reg.Status(id)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Service) handleEvict(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Evict(r.PathValue("id")); err != nil {
-		httpError(w, statusFor(err), err)
+	id := r.PathValue("id")
+	if err := s.reg.Evict(id); err != nil {
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -235,17 +260,17 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// maxSolveBytes.
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSolveBytes+1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading solve body: %w", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading solve body: %w", err), id)
 		return
 	}
 	if len(body) > maxSolveBytes {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("transport: solve body exceeds %d bytes", maxSolveBytes))
+		s.httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("transport: solve body exceeds %d bytes", maxSolveBytes), id)
 		return
 	}
 	b, err := DecodeBlock(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err, id)
 		return
 	}
 
@@ -256,7 +281,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if tq := r.URL.Query().Get("timeout"); tq != "" {
 		d, err := time.ParseDuration(tq)
 		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("transport: bad timeout %q", tq))
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("transport: bad timeout %q", tq), id)
 			return
 		}
 		var cancel context.CancelFunc
@@ -266,7 +291,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	h, err := s.reg.Acquire(id)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 	defer h.Release()
@@ -277,7 +302,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// for one bad request.
 	if n := h.Prepared().Sym.N; b.N != n {
 		err := &native.DimensionError{What: "RHS rows", Got: b.N, Want: n}
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err, id)
 		return
 	}
 
@@ -331,7 +356,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		solveErr = firstErr
 	}
 	if solveErr != nil {
-		httpError(w, statusFor(solveErr), solveErr)
+		s.httpError(w, statusFor(solveErr), solveErr, id)
 		return
 	}
 	out := EncodeBlock(make([]byte, 0, blockHeaderLen+len(x.Data)*8), x)
@@ -376,9 +401,27 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// httpError writes the JSON error envelope. 503 and 429 responses carry
+// an honest Retry-After: for a building matrix it is the registry's
+// remaining-build estimate (smoothed past build durations minus elapsed
+// time), so a client or the cluster router backing off by the header
+// waits about as long as the build actually needs; everything else gets
+// the configured overload hint.
+func (s *Service) httpError(w http.ResponseWriter, code int, err error, id string) {
 	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		ra := s.cfg.OverloadRetryAfter
+		if id != "" && errors.Is(err, registry.ErrBuilding) {
+			if eta, ok := s.reg.BuildETA(id); ok && eta > 0 {
+				ra = eta
+			}
+		}
+		// Retry-After is whole seconds; round up so "600ms left" does not
+		// tell the client to come back instantly and draw another 503.
+		secs := int64((ra + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
