@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz bench benchsmoke benchjson nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload
+.PHONY: check vet lint build test race fuzz bench benchsmoke benchcheck benchjson benchdiff nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload
 
 # staticcheck version pinned so local runs and CI agree; `go run` fetches
 # it on demand (network) — lint skips with a notice when that fails.
@@ -47,9 +47,23 @@ bench:
 benchsmoke:
 	$(GO) test -run=NONE -bench=Native -benchtime=1x -benchmem .
 
+## benchcheck: one-iteration kernel shoot-out to a scratch json, validated by
+## benchdiff -check (the CI step) — fails on NaN/zero-throughput rows without
+## gating on noisy shared-runner timings.
+benchcheck:
+	BENCH_JSON=/tmp/sptrsv-nativesolve-ci.json $(GO) test -run=NONE -bench=NativeSolve -benchtime=1x .
+	$(GO) run ./cmd/benchdiff -check /tmp/sptrsv-nativesolve-ci.json
+
 ## benchjson: regenerate results/nativesolve.json (steady-state SolveInto grid).
 benchjson:
 	BENCH_JSON=1 $(GO) test -run=NONE -bench=NativeSolve -benchmem .
+
+## benchdiff: per-case GFLOPS deltas between two kernel shoot-out documents.
+## Usage: make benchdiff OLD=results/nativesolve.old.json NEW=results/nativesolve.json
+OLD ?= /tmp/sptrsv-nativesolve-old.json
+NEW ?= results/nativesolve.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 ## nativebench: predicted-vs-measured speedup table on the default 2-D mesh.
 nativebench:

@@ -25,6 +25,7 @@
 //	nativebench -grain 1          # disable subtree aggregation
 //	nativebench -strategy levelset   # barrier-synchronous level sets
 //	nativebench -strategy hybrid     # subtree leaves + level-set top
+//	nativebench -kernel legacy       # pre-tiling scalar kernels (baseline)
 //	nativebench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	nativebench -side 63 -inject panic:3         # forward task 3 panics
 //	nativebench -side 63 -inject nan:10          # poison supernode 10's panel
@@ -65,6 +66,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "solve deadline for the fault drill (0 = none)")
 		grain   = flag.Int("grain", 0, "subtree-aggregation work cutoff (0 = tuned default, negative = one task per supernode)")
 		strat   = flag.String("strategy", "subtree", "execution schedule: subtree | levelset | hybrid | auto")
+		kern    = flag.String("kernel", "auto", "numeric kernel family: auto | legacy | tiled")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file after the benchmark")
 	)
@@ -74,6 +76,10 @@ func main() {
 		log.Fatal(err)
 	}
 	strategy, err := native.ParseStrategy(*strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := native.ParseKernel(*kern)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +114,7 @@ func main() {
 	fmt.Printf("%d cores, p worker goroutines) speedup of the parallel FBsolve.\n\n", runtime.GOMAXPROCS(0))
 	pr := harness.Prepare(prob)
 	table, err := harness.NativeVsSimTable(pr, counts, harness.NativeConfig{
-		NRHS: *nrhs, Reps: *reps, Grain: *grain, Strategy: strategy, Model: machine.T3D(),
+		NRHS: *nrhs, Reps: *reps, Grain: *grain, Strategy: strategy, Kernel: kernel, Model: machine.T3D(),
 	})
 	if err != nil {
 		log.Fatal(err)

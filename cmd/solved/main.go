@@ -52,6 +52,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "native solver workers per matrix (0 = GOMAXPROCS)")
 		grain        = flag.Int("grain", 0, "native solver task grain (0 = default)")
 		strat        = flag.String("strategy", "auto", "default execution schedule per matrix: subtree | levelset | hybrid | auto (auto picks from each matrix's elimination-tree shape at build time)")
+		kern         = flag.String("kernel", "auto", "default numeric kernel family per matrix: auto | legacy | tiled (auto picks per supernode shape and RHS width)")
 		maxBatch     = flag.Int("maxbatch", 0, "serve: max coalesced RHS per sweep (0 = 30)")
 		linger       = flag.Duration("linger", 0, "serve: batch linger window (0 = 200µs)")
 		queue        = flag.Int("queue", 0, "serve: admission queue depth (0 = 4×maxbatch)")
@@ -65,10 +66,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	kernel, err := native.ParseKernel(*kern)
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg := registry.New(registry.Config{
 		MaxResidentBytes: int64(*budgetMB * (1 << 20)),
 		Serve: serve.Config{
-			Workers: *workers, Grain: *grain, Strategy: strategy,
+			Workers: *workers, Grain: *grain, Strategy: strategy, Kernel: kernel,
 			MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue, Tol: *tol,
 		},
 	})
@@ -141,7 +146,7 @@ func preloadMatrices(reg *registry.Registry, preload string) error {
 			return fmt.Errorf("preload %s: %w", id, err)
 		}
 		st, _ := reg.Status(id)
-		log.Printf("preloaded %s: N = %d, nnz(L) = %d, strategy = %s", id, st.N, st.NnzL, st.Strategy)
+		log.Printf("preloaded %s: N = %d, nnz(L) = %d, strategy = %s, kernel = %s", id, st.N, st.NnzL, st.Strategy, st.Kernel)
 		h.Release()
 	}
 	return nil

@@ -80,13 +80,15 @@ type SpeedupRow struct {
 // NativeConfig parameterizes the predicted-versus-measured comparison:
 // how many right-hand sides, how many timed repetitions (best kept), the
 // native engine's task grain (0 keeps native.DefaultGrain, negative
-// disables subtree aggregation), and its execution schedule (zero value
-// keeps the subtree task DAG).
+// disables subtree aggregation), its execution schedule (zero value
+// keeps the subtree task DAG), and its numeric kernel family (zero value
+// is the shape-aware auto dispatch).
 type NativeConfig struct {
 	NRHS     int
 	Reps     int
 	Grain    int
 	Strategy native.Strategy
+	Kernel   native.Kernel
 	Model    machine.CostModel
 }
 
@@ -117,7 +119,7 @@ func NativeVsSim(pr *Prepared, counts []int, cfg NativeConfig) ([]SpeedupRow, fl
 	nativeTime := func(w int) (time.Duration, *sparse.Block, error) {
 		// One solver per count, reused across reps: after the first call
 		// the arena is warm and repetitions run allocation-free.
-		sv := native.NewSolver(f, native.Options{Workers: w, Grain: cfg.Grain, Strategy: cfg.Strategy})
+		sv := native.NewSolver(f, native.Options{Workers: w, Grain: cfg.Grain, Strategy: cfg.Strategy, Kernel: cfg.Kernel})
 		defer sv.Close()
 		x := sparse.NewBlock(pr.Sym.N, nrhs)
 		best := time.Duration(0)

@@ -2,7 +2,6 @@ package native
 
 import (
 	"sptrsv/internal/chol"
-	"sptrsv/internal/dist"
 )
 
 // This file holds the dense numeric kernels, one specialization per RHS
@@ -62,24 +61,7 @@ func (sv *Solver) forwardSupernodeM(s int) error {
 	panel := sv.F.Panels[s]
 	v := sv.arena.bufs[s]
 	clear(v) // the task owns this buffer; accumulation below starts from zero
-	for _, c := range sym.SChildren[s] {
-		cv := sv.arena.bufs[c]
-		tc := sym.Width(c)
-		for i, pos := range sv.parentPos[c] {
-			src := cv[(tc+i)*m : (tc+i+1)*m : (tc+i+1)*m]
-			dst := v[pos*m : (pos+1)*m : (pos+1)*m]
-			for k := range dst {
-				dst[k] += src[k]
-			}
-		}
-	}
-	for j := 0; j < t; j++ {
-		row := sv.cur.b.Row(j0 + j)
-		dst := v[j*m : (j+1)*m : (j+1)*m]
-		for k := range dst {
-			dst[k] += row[k]
-		}
-	}
+	sv.gatherForwardM(s, t, j0, m, v)
 	for j := 0; j < t; j++ {
 		col := panel[j*ns : (j+1)*ns]
 		xj := v[j*m : (j+1)*m : (j+1)*m]
@@ -121,7 +103,7 @@ func (sv *Solver) backwardSupernode1(s int) error {
 			v[t+i] = pv[pos]
 		}
 	}
-	bsz := dist.AdaptiveBlock(ns, 1, sv.b) // the simulator's p=1 blocking
+	bsz := sv.shape[s].bsz // the simulator's p=1 blocking, hoisted to NewSolver
 	tb := (t + bsz - 1) / bsz
 	for k := tb - 1; k >= 0; k-- {
 		r0 := k * bsz
@@ -173,13 +155,8 @@ func (sv *Solver) backwardSupernodeM(s, w int) error {
 	m := sv.cur.m
 	panel := sv.F.Panels[s]
 	v := sv.arena.bufs[s]
-	if par := sym.SParent[s]; par >= 0 {
-		pv := sv.arena.bufs[par]
-		for i, pos := range sv.parentPos[s] {
-			copy(v[(t+i)*m:(t+i+1)*m], pv[pos*m:(pos+1)*m])
-		}
-	}
-	bsz := dist.AdaptiveBlock(ns, 1, sv.b) // the simulator's p=1 blocking
+	sv.gatherBackwardM(s, t, m, v)
+	bsz := sv.shape[s].bsz // the simulator's p=1 blocking, hoisted to NewSolver
 	tb := (t + bsz - 1) / bsz
 	for k := tb - 1; k >= 0; k-- {
 		r0 := k * bsz
@@ -227,8 +204,6 @@ func (sv *Solver) backwardSupernodeM(s, w int) error {
 			}
 		}
 	}
-	for j := 0; j < t; j++ {
-		copy(sv.cur.x.Row(j0+j), v[j*m:(j+1)*m])
-	}
+	sv.scatterBackwardM(j0, t, m, v)
 	return nil
 }

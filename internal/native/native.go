@@ -74,6 +74,13 @@ type Options struct {
 	// fix their own aggregation. Like Grain, Strategy affects scheduling
 	// only — the solution is bitwise identical for every choice.
 	Strategy Strategy
+	// Kernel selects the numeric kernel family (see dispatch.go): shape-
+	// aware per-supernode dispatch (default), the pre-tiling legacy
+	// kernels, or the tiled register-blocked kernels forced everywhere.
+	// Like Strategy, Kernel affects speed only — every kernel performs
+	// the same floating-point operations in the same per-column order, so
+	// the solution is bitwise identical for every choice.
+	Kernel Kernel
 	// TaskHook, when non-nil, runs at the start of every supernode
 	// execution (aggregated tasks invoke it once per member supernode);
 	// see TaskHook for the contract. Fault-injection tests and
@@ -109,6 +116,7 @@ type Solver struct {
 	b        int
 	grain    int
 	strategy Strategy
+	kernel   Kernel
 	hook     TaskHook
 
 	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
@@ -128,6 +136,18 @@ type Solver struct {
 	// slab offset of supernode s's buffer, in rows.
 	heightOff   []int
 	totalHeight int
+
+	// shape[s] is supernode s's precomputed kernel geometry (backward
+	// block width, tall row strip); kernels[s] is the concrete kernel the
+	// dispatch layer picked for it at the current RHS width, recomputed by
+	// arena.ensure when the width changes, and kernelCounts is that
+	// table's census (see dispatch.go). kernelTotals accumulates executed
+	// supernodes per kernel across the solver's lifetime for the serving
+	// layer's metrics.
+	shape        []snShape
+	kernels      []kernelID
+	kernelCounts KernelTasks
+	kernelTotals [numKernelIDs]atomic.Int64
 
 	arena arena
 
@@ -172,8 +192,15 @@ type Stats struct {
 	// Levels is the number of barrier phases per sweep for the
 	// barrier-synchronous strategies; 0 for the subtree task DAG.
 	Levels int
-	Forward         time.Duration
-	Backward        time.Duration
+	// Kernel is the solver's kernel-selection mode. Unlike Strategy it is
+	// not resolved to one concrete value — auto picks per supernode and
+	// per RHS width; KernelTasks shows what it picked.
+	Kernel Kernel
+	// KernelTasks counts the supernodes dispatched to each concrete
+	// kernel variant for one sweep at this solve's RHS width.
+	KernelTasks KernelTasks
+	Forward     time.Duration
+	Backward    time.Duration
 	// AllocBytes is the steady-state footprint of the solver's reusable
 	// arena (buffers, counters, scratch) — the memory a warm solver
 	// recycles instead of allocating per solve.
@@ -209,16 +236,21 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 	if strat == StrategyAuto {
 		strat = ChooseStrategy(sym, w)
 	}
+	if opts.Kernel < KernelAuto || opts.Kernel > KernelTiled {
+		panic(fmt.Sprintf("native: invalid Options.Kernel %v", opts.Kernel))
+	}
 	sv := &Solver{
 		F:         f,
 		workers:   w,
 		b:         b,
 		grain:     opts.Grain,
 		strategy:  strat,
+		kernel:    opts.Kernel,
 		hook:      opts.TaskHook,
 		parentPos: make([][]int, sym.NSuper),
 		heightOff: make([]int, sym.NSuper),
 	}
+	sv.buildShapes()
 	for c := 0; c < sym.NSuper; c++ {
 		sv.heightOff[c] = sv.totalHeight
 		sv.totalHeight += sym.Height(c)
@@ -274,6 +306,12 @@ func (sv *Solver) Workers() int { return sv.workers }
 // solver was built with StrategyAuto this is the concrete strategy
 // ChooseStrategy picked from the elimination-tree shape.
 func (sv *Solver) Strategy() Strategy { return sv.strategy }
+
+// Kernel returns the solver's kernel-selection mode. KernelAuto is
+// reported as-is — unlike a strategy it does not resolve to one concrete
+// kernel but to a per-supernode, per-width dispatch table; KernelTotals
+// (and Stats.KernelTasks) show what it picked.
+func (sv *Solver) Kernel() Kernel { return sv.kernel }
 
 // Tasks returns the number of scheduler tasks per sweep after subtree
 // aggregation (NSuper when aggregation is disabled).
@@ -375,6 +413,8 @@ func (sv *Solver) baseStats() Stats {
 		AggregatedTasks: sv.graph.aggregated,
 		Strategy:        sv.strategy,
 		Levels:          len(sv.levels),
+		Kernel:          sv.kernel,
+		KernelTasks:     sv.kernelCounts,
 		AllocBytes:      sv.arena.bytes,
 	}
 }
@@ -422,6 +462,8 @@ func (sv *Solver) SolveInto(ctx context.Context, b, x *sparse.Block) (Stats, err
 	}
 	sv.arena.ensure(sv, b.M)
 	stats.AllocBytes = sv.arena.bytes
+	stats.KernelTasks = sv.kernelCounts
+	sv.accountKernels()
 	sv.cur.b, sv.cur.x, sv.cur.m = b, x, b.M
 	defer func() { sv.cur.b, sv.cur.x = nil, nil }()
 
@@ -518,14 +560,9 @@ func (sv *Solver) execSupernode(ctx context.Context, phase TaskPhase, worker, s 
 			return herr
 		}
 	}
+	k := sv.kernels[s]
 	if phase == ForwardPhase {
-		if sv.cur.m == 1 {
-			return sv.forwardSupernode1(s)
-		}
-		return sv.forwardSupernodeM(s)
+		return forwardKernels[k](sv, s, worker)
 	}
-	if sv.cur.m == 1 {
-		return sv.backwardSupernode1(s)
-	}
-	return sv.backwardSupernodeM(s, worker)
+	return backwardKernels[k](sv, s, worker)
 }

@@ -31,31 +31,41 @@ func analyzedSym(t *testing.T, a *sparse.SymCSC) *symbolic.Factor {
 }
 
 // TestStrategyBitwiseIdentity is the cross product the issue pins:
-// every Strategy × grain × workers × RHS-width combination must be
-// bitwise identical to the simulator's p=1 execution.
+// every Kernel × Strategy × grain × workers × RHS-width combination must
+// be bitwise identical to the simulator's p=1 execution. m=6 exercises
+// the tiled kernels' full-tile + scalar-tail split.
 func TestStrategyBitwiseIdentity(t *testing.T) {
 	_, f := setupAmalgamated(t, grid2DProblem(17, 13))
-	for _, m := range []int{1, 4} {
+	for _, m := range []int{1, 4, 6} {
 		b := mesh.RandomRHS(f.Sym.N, m, 7)
 		want := simulatorP1Solve(t, f, b)
-		for _, strat := range append(strategySweep, StrategyAuto) {
-			for _, g := range grainSweep {
-				for _, w := range []int{1, 2, 8} {
-					sv := NewSolver(f, Options{Workers: w, Grain: g, Strategy: strat})
-					x, st, err := sv.SolveCtx(context.Background(), b)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if st.Strategy == StrategyAuto {
-						t.Fatalf("strategy=%s grain=%s workers=%d: stats report unresolved auto", strat, grainName(g), w)
-					}
-					for i, v := range x.Data {
-						if v != want.Data[i] {
-							t.Fatalf("m=%d strategy=%s grain=%s workers=%d: entry %d differs bitwise from simulator p=1",
-								m, strat, grainName(g), w, i)
+		for _, kern := range []Kernel{KernelAuto, KernelLegacy, KernelTiled} {
+			for _, strat := range append(strategySweep, StrategyAuto) {
+				for _, g := range grainSweep {
+					for _, w := range []int{1, 2, 8} {
+						sv := NewSolver(f, Options{Workers: w, Grain: g, Strategy: strat, Kernel: kern})
+						x, st, err := sv.SolveCtx(context.Background(), b)
+						if err != nil {
+							t.Fatal(err)
 						}
+						if st.Strategy == StrategyAuto {
+							t.Fatalf("strategy=%s grain=%s workers=%d: stats report unresolved auto", strat, grainName(g), w)
+						}
+						if st.Kernel != kern {
+							t.Fatalf("kernel=%s: stats report kernel %s", kern, st.Kernel)
+						}
+						if got := st.KernelTasks.Total(); got != int64(f.Sym.NSuper) {
+							t.Fatalf("kernel=%s m=%d: dispatch census %d, want one entry per supernode (%d)",
+								kern, m, got, f.Sym.NSuper)
+						}
+						for i, v := range x.Data {
+							if v != want.Data[i] {
+								t.Fatalf("m=%d kernel=%s strategy=%s grain=%s workers=%d: entry %d differs bitwise from simulator p=1",
+									m, kern, strat, grainName(g), w, i)
+							}
+						}
+						sv.Close()
 					}
-					sv.Close()
 				}
 			}
 		}

@@ -83,13 +83,20 @@ type Config struct {
 }
 
 // BuildOptions are the per-matrix overrides RegisterWith applies on top
-// of the registry's Config.Serve template. RegisterWith applies them
-// verbatim — callers that want the template unchanged use Register.
+// of the registry's Config.Serve template. Each field overrides only
+// when non-nil, so an ingest naming just a kernel keeps the template's
+// strategy and vice versa — callers that want the template unchanged use
+// Register (or an all-nil BuildOptions).
 type BuildOptions struct {
-	// Strategy is the execution schedule of this matrix's solver
-	// (replaces the template's Serve.Strategy); native.StrategyAuto
-	// defers to the elimination-tree shape at build time.
-	Strategy native.Strategy
+	// Strategy, when non-nil, is the execution schedule of this matrix's
+	// solver (replaces the template's Serve.Strategy);
+	// native.StrategyAuto defers to the elimination-tree shape at build
+	// time.
+	Strategy *native.Strategy
+	// Kernel, when non-nil, is the numeric kernel family of this
+	// matrix's solver (replaces the template's Serve.Kernel);
+	// native.KernelAuto dispatches per supernode shape and RHS width.
+	Kernel *native.Kernel
 }
 
 // state is one entry's position in the lifecycle.
@@ -193,10 +200,16 @@ func (r *Registry) Register(id string, src Source) error {
 
 // RegisterWith is Register with per-matrix overrides applied to the
 // registry's serve.Config template — the path the transport layer uses
-// when an ingest spec names a scheduling strategy for the matrix.
+// when an ingest spec names a scheduling strategy or kernel family for
+// the matrix.
 func (r *Registry) RegisterWith(id string, src Source, opts BuildOptions) error {
 	cfg := r.cfg.Serve
-	cfg.Strategy = opts.Strategy
+	if opts.Strategy != nil {
+		cfg.Strategy = *opts.Strategy
+	}
+	if opts.Kernel != nil {
+		cfg.Kernel = *opts.Kernel
+	}
 	return r.register(id, src, cfg)
 }
 
@@ -513,8 +526,11 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 	if e.state == stateResident || e.draining {
 		st.Bytes = e.bytes()
 		// The resolved schedule — with an auto template this is the
-		// concrete strategy the build picked from the tree shape.
+		// concrete strategy the build picked from the tree shape. The
+		// kernel mode is reported as configured: auto stays "auto", since
+		// it dispatches per supernode and RHS width, not per matrix.
 		st.Strategy = e.srv.Solver().Strategy().String()
+		st.Kernel = e.srv.Solver().Kernel().String()
 	}
 	return st
 }
@@ -530,6 +546,9 @@ type MatrixStatus struct {
 	// Strategy is the resolved execution schedule of the matrix's solver
 	// (subtree | levelset | hybrid), reported while resident or draining.
 	Strategy string `json:"strategy,omitempty"`
+	// Kernel is the kernel-selection mode of the matrix's solver (auto |
+	// legacy | tiled), reported while resident or draining.
+	Kernel string `json:"kernel,omitempty"`
 	// EtaMillis estimates the remaining build time while building (from
 	// the registry's smoothed past-build durations); 0 when unknown.
 	EtaMillis int64  `json:"eta_ms,omitempty"`

@@ -48,7 +48,8 @@ func TestRegisterWithOverridesStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.RegisterWith("lvl", src, BuildOptions{Strategy: native.StrategyLevelSet}); err != nil {
+	strat := native.StrategyLevelSet
+	if err := reg.RegisterWith("lvl", src, BuildOptions{Strategy: &strat}); err != nil {
 		t.Fatal(err)
 	}
 	h, err := reg.AcquireWait("lvl", nil)
@@ -65,5 +66,41 @@ func TestRegisterWithOverridesStrategy(t *testing.T) {
 	}
 	if st.Strategy != "levelset" {
 		t.Fatalf("status reports strategy %q, want levelset", st.Strategy)
+	}
+}
+
+// TestRegisterWithKernelOverride pins the nil-means-template contract: a
+// kernel-only override must keep the template's strategy (here auto,
+// resolved per matrix) while forcing the kernel family, and the status
+// must report both.
+func TestRegisterWithKernelOverride(t *testing.T) {
+	reg := New(Config{Serve: serve.Config{Workers: 8, Strategy: native.StrategyAuto}})
+	defer reg.Close()
+	src, err := Grid2DSource(15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern := native.KernelTiled
+	if err := reg.RegisterWith("tk", src, BuildOptions{Kernel: &kern}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.AcquireWait("tk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if got := h.Server().Solver().Kernel(); got != native.KernelTiled {
+		t.Fatalf("override built kernel %s, want tiled", got)
+	}
+	wantStrat := native.ChooseStrategy(h.Prepared().Sym, 8)
+	if got := h.Server().Solver().Strategy(); got != wantStrat {
+		t.Fatalf("kernel-only override changed the strategy: got %s, template auto resolves to %s", got, wantStrat)
+	}
+	st, err := reg.Status("tk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kernel != "tiled" {
+		t.Fatalf("status reports kernel %q, want tiled", st.Kernel)
 	}
 }

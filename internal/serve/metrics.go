@@ -175,6 +175,11 @@ type Snapshot struct {
 	MaxQueueDepth int `json:"max_queue_depth"` // high-water mark seen at batch formation
 	InFlight      int `json:"in_flight"`       // gauge: admitted requests whose Solve has not returned
 
+	// KernelTasks is the solver's cumulative supernode-execution count per
+	// concrete numeric kernel (native.Solver.KernelTotals) — which kernels
+	// this server's traffic actually hit. Zero-count kernels are omitted.
+	KernelTasks map[string]int64 `json:"kernel_tasks,omitempty"`
+
 	Latency LatencySnapshot `json:"latency"`
 }
 
@@ -198,6 +203,7 @@ func (s *Server) Snapshot() Snapshot {
 		QueueCap:             cap(s.queue),
 		MaxQueueDepth:        int(m.maxQueue.Load()),
 		InFlight:             int(s.inflight.Load()),
+		KernelTasks:          s.sv.KernelTotals().Map(),
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatchWidth = float64(m.widthSum.Load()) / float64(snap.Batches)

@@ -28,6 +28,10 @@ type Config struct {
 	Workers  int
 	Grain    int
 	Strategy native.Strategy
+	// Kernel selects the numeric kernel family (see native.Options.Kernel);
+	// the zero value is shape-aware per-supernode auto dispatch. Like
+	// Strategy it never changes the solution, only the speed.
+	Kernel native.Kernel
 	// MaxBatch bounds how many single-RHS requests one sweep may carry; 0
 	// means 30, the paper's measured amortization sweet spot (§5).
 	// MaxBatch 1 disables coalescing (every request solves alone).
@@ -149,7 +153,7 @@ func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
 		cfg: cfg,
 		sv: native.NewSolver(f, native.Options{
 			Workers: cfg.Workers, Grain: cfg.Grain, Strategy: cfg.Strategy,
-			TaskHook: cfg.TaskHook,
+			Kernel: cfg.Kernel, TaskHook: cfg.TaskHook,
 		}),
 		queue:   make(chan *request, cfg.QueueDepth),
 		stop:    make(chan struct{}),

@@ -110,6 +110,16 @@ func TestBatchedBitwiseIdenticalToIndividual(t *testing.T) {
 	if snap.Batches >= k {
 		t.Fatalf("no coalescing happened: %d batches for %d requests", snap.Batches, k)
 	}
+	// The per-kernel task counters surface the solver's dispatch census:
+	// every coalesced sweep ran some kernel, so the totals must be
+	// nonzero and a whole number of per-sweep censuses.
+	var kernelTotal int64
+	for _, n := range snap.KernelTasks {
+		kernelTotal += n
+	}
+	if ns := int64(pr.Sym.NSuper); kernelTotal == 0 || kernelTotal%(2*ns) != 0 {
+		t.Fatalf("kernel task totals %v: want a positive multiple of 2×NSuper = %d", snap.KernelTasks, 2*ns)
+	}
 }
 
 // TestPoisonedRHSDoesNotSinkBatchmates: one NaN right-hand side fails

@@ -71,6 +71,7 @@ func writeServeHeader(sb *strings.Builder) {
 	fmt.Fprintf(sb, "# HELP sptrsv_serve_queue_depth Requests waiting for batch formation.\n# TYPE sptrsv_serve_queue_depth gauge\n")
 	fmt.Fprintf(sb, "# HELP sptrsv_serve_in_flight Admitted requests whose Solve has not returned.\n# TYPE sptrsv_serve_in_flight gauge\n")
 	fmt.Fprintf(sb, "# HELP sptrsv_serve_latency_seconds Request latency from admission to reply.\n# TYPE sptrsv_serve_latency_seconds histogram\n")
+	fmt.Fprintf(sb, "# HELP sptrsv_kernel_tasks_total Supernode tasks executed per numeric kernel.\n# TYPE sptrsv_kernel_tasks_total counter\n")
 }
 
 // writeServeSnapshot emits one matrix's serve metrics with a
@@ -82,6 +83,15 @@ func writeServeSnapshot(sb *strings.Builder, id string, snap serve.Snapshot) {
 	}
 	fmt.Fprintf(sb, "sptrsv_serve_queue_depth%s %d\n", lbl, snap.QueueDepth)
 	fmt.Fprintf(sb, "sptrsv_serve_in_flight%s %d\n", lbl, snap.InFlight)
+	// Per-kernel task counters, sorted for a deterministic exposition.
+	kernels := make([]string, 0, len(snap.KernelTasks))
+	for k := range snap.KernelTasks {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	for _, k := range kernels {
+		fmt.Fprintf(sb, "sptrsv_kernel_tasks_total{matrix=%q,kernel=%q} %d\n", id, k, snap.KernelTasks[k])
+	}
 	// Latency histogram: serve buckets are per-bucket counts with
 	// nanosecond bounds; Prometheus wants cumulative counts with
 	// seconds bounds and a trailing +Inf.

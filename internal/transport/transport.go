@@ -116,12 +116,19 @@ type ingestSpec struct {
 	// Harwell-Boeing uploads (and overrides nothing when the JSON field
 	// is set).
 	Strategy string `json:"strategy,omitempty"`
+	// Kernel names the numeric kernel family for this matrix's solver
+	// (auto | legacy | tiled); empty keeps the daemon's default. The
+	// ?kernel= query parameter is the Harwell-Boeing equivalent, same
+	// precedence as Strategy.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // sourceFor translates one ingest request body into a registry Source
-// plus the requested scheduling strategy ("" = daemon default).
-func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
+// plus the requested scheduling strategy and kernel family ("" = daemon
+// default for either).
+func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, error) {
 	strategy := r.URL.Query().Get("strategy")
+	kernel := r.URL.Query().Get("kernel")
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
@@ -129,14 +136,17 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
 	if strings.TrimSpace(ct) != "application/json" {
 		// Anything non-JSON is a Harwell-Boeing upload.
 		src, err := registry.HarwellBoeingSource(body)
-		return src, strategy, err
+		return src, strategy, kernel, err
 	}
 	var spec ingestSpec
 	if err := json.Unmarshal(body, &spec); err != nil {
-		return nil, "", fmt.Errorf("transport: bad ingest spec: %w", err)
+		return nil, "", "", fmt.Errorf("transport: bad ingest spec: %w", err)
 	}
 	if spec.Strategy != "" {
 		strategy = spec.Strategy
+	}
+	if spec.Kernel != "" {
+		kernel = spec.Kernel
 	}
 	set := 0
 	if spec.Grid2D != "" {
@@ -149,7 +159,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
 		set++
 	}
 	if set != 1 {
-		return nil, "", fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
+		return nil, "", "", fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
 	}
 	var (
 		src registry.Source
@@ -159,7 +169,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
 	case spec.Grid2D != "":
 		var nx, ny int
 		if _, err := fmt.Sscanf(strings.ToLower(spec.Grid2D), "%dx%d", &nx, &ny); err != nil {
-			return nil, "", fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
+			return nil, "", "", fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
 		}
 		src, err = registry.Grid2DSource(nx, ny)
 	case spec.Cube > 0:
@@ -167,7 +177,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, error) {
 	default:
 		src, err = registry.SuiteSource(spec.Problem)
 	}
-	return src, strategy, err
+	return src, strategy, kernel, err
 }
 
 func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -182,20 +192,32 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes), id)
 		return
 	}
-	src, strategy, err := sourceFor(r, body)
+	src, strategy, kernel, err := sourceFor(r, body)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err, id)
 		return
 	}
-	if strategy == "" {
-		err = s.reg.Register(id, src)
-	} else {
+	var opts registry.BuildOptions
+	if strategy != "" {
 		strat, perr := native.ParseStrategy(strategy)
 		if perr != nil {
 			s.httpError(w, http.StatusBadRequest, perr, id)
 			return
 		}
-		err = s.reg.RegisterWith(id, src, registry.BuildOptions{Strategy: strat})
+		opts.Strategy = &strat
+	}
+	if kernel != "" {
+		kern, perr := native.ParseKernel(kernel)
+		if perr != nil {
+			s.httpError(w, http.StatusBadRequest, perr, id)
+			return
+		}
+		opts.Kernel = &kern
+	}
+	if opts.Strategy == nil && opts.Kernel == nil {
+		err = s.reg.Register(id, src)
+	} else {
+		err = s.reg.RegisterWith(id, src, opts)
 	}
 	if err != nil {
 		s.httpError(w, statusFor(err), err, id)
