@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz bench benchsmoke benchcheck benchjson benchdiff nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload
+.PHONY: check vet lint build test race fuzz bench benchsmoke benchcheck benchjson benchdiff nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload updatesmoke updateload
 
 # staticcheck version pinned so local runs and CI agree; `go run` fetches
 # it on demand (network) — lint skips with a notice when that fails.
@@ -96,6 +96,26 @@ loadurl:
 	SOLVED_PID=$$!; sleep 1; \
 	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s \
 		-url http://127.0.0.1:18035 -json results/solveload.json; \
+	STATUS=$$?; kill -TERM $$SOLVED_PID; wait $$SOLVED_PID; exit $$STATUS
+
+## updatesmoke: streaming-update smoke (the CI step) — a race-built solved
+## daemon under a value-update loop racing solve traffic; every answer must
+## satisfy the residual bound against one of the two alternating value sets
+## (never a blend) and the refactorization counter must account for every
+## update.
+updatesmoke:
+	$(GO) test -race -run TestUpdateSmoke -count=1 -timeout 10m -v ./cmd/solved
+
+## updateload: regenerate results/solveload.json including the streaming-
+## update section — update-to-first-solve latency of PUT /values (refactorize
+## on the cached symbolic analysis + hot-swap) vs a full DELETE +
+## Harwell-Boeing re-ingest on the same daemon.
+updateload:
+	$(GO) build -o /tmp/sptrsv-solved ./cmd/solved
+	/tmp/sptrsv-solved -addr 127.0.0.1:18036 & \
+	SOLVED_PID=$$!; sleep 1; \
+	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s \
+		-url http://127.0.0.1:18036 -update -json results/solveload.json; \
 	STATUS=$$?; kill -TERM $$SOLVED_PID; wait $$SOLVED_PID; exit $$STATUS
 
 ## clustersmoke: the kill-a-backend acceptance test (the CI step) — three

@@ -6,11 +6,15 @@
 //
 // Endpoints (see internal/transport):
 //
-//	PUT  /v1/matrix/{id}   ingest a mesh spec (JSON) or Harwell-Boeing body
-//	POST /v1/solve/{id}    binary float64 solve round-trip
-//	GET  /v1/matrix/{id}   lifecycle status
-//	GET  /metrics          Prometheus text (per-matrix serve snapshots +
-//	                       registry gauges)
+//	PUT  /v1/matrix/{id}        ingest a mesh spec (JSON) or Harwell-Boeing body
+//	PUT  /v1/matrix/{id}/values streaming value update (nnz×1 binary block):
+//	                            refactorize on the cached symbolic analysis and
+//	                            hot-swap the warm server, no re-ingest
+//	GET  /v1/matrix/{id}/values current values (nnz×1 binary block)
+//	POST /v1/solve/{id}         binary float64 solve round-trip
+//	GET  /v1/matrix/{id}        lifecycle status
+//	GET  /metrics               Prometheus text (per-matrix serve snapshots +
+//	                            registry gauges, refactorization counters)
 //
 // Shutdown is graceful: SIGTERM/SIGINT stop admission, wait out
 // in-flight requests (bounded by -draintimeout), then drain the

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/transport"
+)
+
+// launchSolved builds and starts the daemon on an ephemeral port and
+// returns its base URL plus a stop function that SIGTERMs and requires a
+// clean drain.
+func launchSolved(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "solved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building solved: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() }) // no-op after a clean Wait
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line from solved; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	go io.Copy(io.Discard, stdout)
+
+	stop := func() {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("solved exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("solved did not drain within 30s of SIGTERM; stderr:\n%s", stderr.String())
+		}
+	}
+	return base, stop
+}
+
+// TestUpdateSmoke is the `make updatesmoke` job: a real daemon under a
+// streaming-update loop racing solve traffic. Every answer must satisfy
+// the residual bound against one of the two alternating value sets —
+// a solve must never see a half-swapped factor — and the refactorization
+// counter must account for every update.
+func TestUpdateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping update smoke in -short mode")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("smoke relies on SIGTERM semantics")
+	}
+
+	base, stop := launchSolved(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/matrix/up?wait=1",
+		strings.NewReader(`{"grid2d":"15x15"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d (%s)", resp.StatusCode, body)
+	}
+
+	// Fetch the baseline values; a1/a2 are the two matrices the daemon
+	// alternates between (s·A stays SPD for s > 0).
+	resp, err = client.Get(base + "/v1/matrix/up/values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET values: %d (%s)", resp.StatusCode, vb)
+	}
+	baseBlk, err := transport.DecodeBlock(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := harness.Prepare(mesh.Problem{
+		Name: "up", A: mesh.Grid2D(15, 15), Geom: mesh.Grid2DGeometry(15, 15),
+	})
+	a1 := pr.A
+	a2 := &sparse.SymCSC{N: a1.N, ColPtr: a1.ColPtr, RowIdx: a1.RowIdx, Val: make([]float64, len(a1.Val))}
+	scaled := make([]float64, len(baseBlk.Data))
+	for i, v := range baseBlk.Data {
+		scaled[i] = 2 * v
+	}
+	for i, v := range a1.Val {
+		a2.Val[i] = 2 * v
+	}
+
+	putVals := func(vals []float64) int {
+		blk := sparse.NewBlock(len(vals), 1)
+		copy(blk.Data, vals)
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/matrix/up/values",
+			bytes.NewReader(transport.EncodeBlock(nil, blk)))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	const updates = 10
+	rhs := mesh.RandomRHS(pr.Sym.N, 1, 7)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < updates; i++ {
+			vals := baseBlk.Data
+			if i%2 == 0 {
+				vals = scaled
+			}
+			if code := putVals(vals); code != http.StatusOK {
+				t.Errorf("update %d: HTTP %d", i, code)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3*updates; i++ {
+		resp, err := client.Post(base+"/v1/solve/up", "application/octet-stream",
+			bytes.NewReader(transport.EncodeBlock(nil, rhs)))
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: %d (%s)", i, resp.StatusCode, out)
+		}
+		x, err := transport.DecodeBlock(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := harness.RelResidual(a1, x, rhs)
+		r2 := harness.RelResidual(a2, x, rhs)
+		if !(r1 <= 1e-10) && !(r2 <= 1e-10) {
+			t.Fatalf("solve %d matches neither value set (residuals %g / %g) — a blended factor", i, r1, r2)
+		}
+	}
+	wg.Wait()
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(met), "sptrsv_refactorize_total 10") {
+		t.Fatalf("metrics missing sptrsv_refactorize_total 10:\n%s", met)
+	}
+
+	stop()
+}

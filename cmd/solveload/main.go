@@ -93,6 +93,7 @@ type report struct {
 	Speedup    float64        `json:"speedup,omitempty"` // served/baseline solves-per-sec
 	Network    *sideReport    `json:"network,omitempty"` // same closed loop over HTTP (-url)
 	NetworkURL string         `json:"network_url,omitempty"`
+	Update     *updateReport  `json:"update,omitempty"` // -update: streaming values vs full re-ingest
 	Snapshot   serve.Snapshot `json:"snapshot"`
 }
 
@@ -114,6 +115,7 @@ func main() {
 		noBaseline = flag.Bool("nobaseline", false, "skip the per-request SolveRobust baseline side")
 		inject     = flag.String("inject", "", "fault drill: faultinject spec (panic:S | error:S | stall:S:DUR | nan:S) active on the served side")
 		urlFlag    = flag.String("url", "", "also drive a running solved daemon at this base URL (ingests the matrix, then closed-loops POST /v1/solve)")
+		update     = flag.Bool("update", false, "with -url: measure update-to-first-solve latency of streaming value updates vs full re-ingest")
 		jsonPath   = flag.String("json", "", "write the BENCH_JSON report here (\"1\" = results/solveload.json)")
 	)
 	flag.Parse()
@@ -216,6 +218,23 @@ func main() {
 			fmt.Printf("  retries: %d requests retried then succeeded (%d extra attempts); attempt breakdown: %s\n",
 				net.RetriedOK, net.Retries, strings.Join(parts, ", "))
 		}
+	}
+
+	if *update {
+		if *urlFlag == "" {
+			log.Fatal("-update requires -url")
+		}
+		ur, err := runUpdateSide(pr, *urlFlag, *tol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Update = ur
+		fmt.Printf("update   (streaming values vs full re-ingest, update-to-first-solve):\n")
+		fmt.Printf("  full re-ingest : mean %.1fms, p50 %.1fms  (%d samples: DELETE + HB upload + build + solve)\n",
+			ur.ReingestMeanMs, ur.ReingestP50Ms, ur.ReingestSamples)
+		fmt.Printf("  value update   : mean %.1fms, p50 %.1fms  (%d samples: PUT values + solve)\n",
+			ur.UpdateMeanMs, ur.UpdateP50Ms, ur.UpdateSamples)
+		fmt.Printf("  update speedup over re-ingest: %.1f×\n", ur.Speedup)
 	}
 
 	if *jsonPath != "" {

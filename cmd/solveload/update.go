@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/registry"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/transport"
+)
+
+// This file is the -update mode: it prices a streaming value update
+// (PUT /v1/matrix/{id}/values → refactorize on the cached symbolic
+// analysis → hot-swap) against the only other way to change a resident
+// matrix's numbers — a full re-ingest (DELETE, serialize the matrix to
+// Harwell-Boeing, upload, wait out the ordering + symbolic + numeric
+// build) — measuring update-to-first-solve latency for both. Every
+// first solve is residual-checked (outside the timed region) against
+// the matrix that was just installed, so the samples only count swaps
+// that really took.
+//
+// Domain note: an HB ingest runs the daemon's own nested-dissection
+// ordering on the uploaded pattern, so the wire domain is the daemon's
+// permuted one. The local reference is therefore built through the SAME
+// source pipeline (registry.HarwellBoeingSource on the same body): the
+// ordering is a function of the pattern alone, so every scaled upload
+// lands in one fixed domain and the reference is just a scaled copy.
+
+// updateReport is the -update section of the BENCH_JSON document.
+type updateReport struct {
+	ReingestSamples int     `json:"reingest_samples"`
+	UpdateSamples   int     `json:"update_samples"`
+	ReingestMeanMs  float64 `json:"reingest_mean_ms"`
+	ReingestP50Ms   float64 `json:"reingest_p50_ms"`
+	UpdateMeanMs    float64 `json:"update_mean_ms"`
+	UpdateP50Ms     float64 `json:"update_p50_ms"`
+	// Speedup is reingest mean over update mean: how much faster new
+	// values reach the first answered solve via the swap path.
+	Speedup float64 `json:"speedup"`
+}
+
+// runUpdateSide measures update-to-first-solve latency both ways
+// against a running daemon (or router). The matrix is ingested with
+// wait=1 first so both sides start from a resident, warm system.
+func runUpdateSide(pr *harness.Prepared, baseURL string, tol float64) (*updateReport, error) {
+	const (
+		reingestSamples = 3
+		updateSamples   = 12
+	)
+	base := strings.TrimRight(baseURL, "/")
+	id := url.PathEscape(pr.Name)
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	// Seed: serialize the prepared matrix and install it as the HB body;
+	// build the in-process reference through the same source pipeline.
+	var seed bytes.Buffer
+	if err := sparse.WriteHarwellBoeing(&seed, pr.Name+" update bench", pr.A); err != nil {
+		return nil, err
+	}
+	src, err := registry.HarwellBoeingSource(seed.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	refPr, _, err := src.Build()
+	if err != nil {
+		return nil, fmt.Errorf("building the local reference system: %w", err)
+	}
+	if err := reingest(client, base, id, pr.A); err != nil {
+		return nil, fmt.Errorf("seeding %s at daemon: %w", pr.Name, err)
+	}
+	got, err := fetchValues(client, base, id)
+	if err != nil {
+		return nil, err
+	}
+	if !slices.Equal(got, refPr.A.Val) {
+		return nil, fmt.Errorf("daemon values do not match the local reference (GET /values sanity check)")
+	}
+	rhs := mesh.RandomRHS(refPr.Sym.N, 1, 1234)
+
+	// scaleFor keeps the samples from degenerating into one cached case:
+	// scales cycle and never repeat consecutively, and s > 0 keeps the
+	// matrix SPD.
+	scaleFor := func(i int) float64 { return []float64{2, 0.5, 3, 0.25}[i%4] }
+	scaledRef := func(s float64) *sparse.SymCSC {
+		a := &sparse.SymCSC{N: refPr.A.N, ColPtr: refPr.A.ColPtr, RowIdx: refPr.A.RowIdx, Val: make([]float64, len(refPr.A.Val))}
+		for i, v := range refPr.A.Val {
+			a.Val[i] = s * v
+		}
+		return a
+	}
+	postSolve := func() (*sparse.Block, error) {
+		resp, err := client.Post(base+"/v1/solve/"+id, "application/octet-stream",
+			bytes.NewReader(transport.EncodeBlock(nil, rhs)))
+		if err != nil {
+			return nil, err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("first solve: %d (%s)", resp.StatusCode, out)
+		}
+		return transport.DecodeBlock(out)
+	}
+	verify := func(s float64, x *sparse.Block) error {
+		if r := harness.RelResidual(scaledRef(s), x, rhs); !(r <= tol) {
+			return fmt.Errorf("first solve residual %g against the just-installed values (tol %g)", r, tol)
+		}
+		return nil
+	}
+
+	// Side A: full re-ingest. The timed region is everything a client has
+	// to do to get new numbers answering: serialize (in MY domain — the
+	// daemon re-derives its ordering from the pattern, landing in the
+	// reference domain), evict, upload, wait out the build, first solve.
+	reingestMs := make([]float64, 0, reingestSamples)
+	for i := 0; i < reingestSamples; i++ {
+		s := scaleFor(i)
+		a := &sparse.SymCSC{N: pr.A.N, ColPtr: pr.A.ColPtr, RowIdx: pr.A.RowIdx, Val: make([]float64, len(pr.A.Val))}
+		for j, v := range pr.A.Val {
+			a.Val[j] = s * v
+		}
+		t0 := time.Now()
+		if err := reingest(client, base, id, a); err != nil {
+			return nil, fmt.Errorf("re-ingest sample %d: %w", i, err)
+		}
+		x, err := postSolve()
+		if err != nil {
+			return nil, fmt.Errorf("re-ingest sample %d: %w", i, err)
+		}
+		dt := time.Since(t0)
+		if err := verify(s, x); err != nil {
+			return nil, fmt.Errorf("re-ingest sample %d: %w", i, err)
+		}
+		reingestMs = append(reingestMs, float64(dt)/float64(time.Millisecond))
+	}
+
+	// Side B: streaming value update on the same resident system. Values
+	// go over the wire in the daemon's (reference) CSC order.
+	updateMs := make([]float64, 0, updateSamples)
+	for i := 0; i < updateSamples; i++ {
+		s := scaleFor(i + 1)
+		a := scaledRef(s)
+		blk := sparse.NewBlock(len(a.Val), 1)
+		copy(blk.Data, a.Val)
+		body := transport.EncodeBlock(nil, blk)
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/matrix/"+id+"/values", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("value update sample %d: %w", i, err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("value update sample %d: %d (%s)", i, resp.StatusCode, rb)
+		}
+		x, err := postSolve()
+		if err != nil {
+			return nil, fmt.Errorf("value update sample %d: %w", i, err)
+		}
+		dt := time.Since(t0)
+		if err := verify(s, x); err != nil {
+			return nil, fmt.Errorf("value update sample %d: %w", i, err)
+		}
+		updateMs = append(updateMs, float64(dt)/float64(time.Millisecond))
+	}
+
+	rep := &updateReport{
+		ReingestSamples: len(reingestMs), UpdateSamples: len(updateMs),
+		ReingestMeanMs: mean(reingestMs), ReingestP50Ms: p50(reingestMs),
+		UpdateMeanMs: mean(updateMs), UpdateP50Ms: p50(updateMs),
+	}
+	if rep.UpdateMeanMs > 0 {
+		rep.Speedup = rep.ReingestMeanMs / rep.UpdateMeanMs
+	}
+	return rep, nil
+}
+
+// reingest serializes a to Harwell-Boeing and installs it under id with
+// wait=1, evicting any previous copy first (Register singleflights on a
+// live id, so without the DELETE the body would be ignored; a 404 from
+// the DELETE just means nothing was there yet).
+func reingest(client *http.Client, base, id string, a *sparse.SymCSC) error {
+	var buf bytes.Buffer
+	if err := sparse.WriteHarwellBoeing(&buf, id+" re-ingest", a); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/matrix/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("evicting before re-ingest: %d", resp.StatusCode)
+	}
+	req, err = http.NewRequest(http.MethodPut, base+"/v1/matrix/"+id+"?wait=1", &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err = client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("re-ingest: %d (%s)", resp.StatusCode, body)
+	}
+	return nil
+}
+
+func fetchValues(client *http.Client, base, id string) ([]float64, error) {
+	resp, err := client.Get(base + "/v1/matrix/" + id + "/values")
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET values: %d (%s)", resp.StatusCode, body)
+	}
+	blk, err := transport.DecodeBlock(body)
+	if err != nil {
+		return nil, err
+	}
+	return blk.Data, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func p50(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

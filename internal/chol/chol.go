@@ -22,6 +22,11 @@ import (
 type Factor struct {
 	Sym    *symbolic.Factor
 	Panels [][]float64
+
+	// plan caches the scatter maps of the refactorization fast path; it
+	// is built lazily by Refactorize and inherited by the factors it
+	// returns (see refactor.go).
+	plan *refactorPlan
 }
 
 // Factorize computes the supernodal multifrontal Cholesky factorization of
@@ -56,7 +61,7 @@ func Factorize(a *sparse.SymCSC, sym *symbolic.Factor) (*Factor, error) {
 				i := a.RowIdx[p]
 				fi := pos[i]
 				if fi < 0 {
-					return nil, fmt.Errorf("chol: A(%d,%d) outside supernode %d pattern", i, j, s)
+					return nil, &PatternError{Reason: "entry", Row: i, Col: j, Super: s}
 				}
 				front[lj*ns+fi] += a.Val[p]
 			}

@@ -122,6 +122,7 @@ type matrixState struct {
 	body        []byte // stored ingest body, replayed on promotion/repair
 	contentType string
 	query       string // original ingest query (strategy etc), minus wait
+	values      []byte // latest streaming value update (nnz×1 block), replayed after a re-ingest
 	hot         bool
 	replicas    []string // current ring placement, preference order
 
@@ -139,6 +140,8 @@ type routerMetrics struct {
 	exhausted   atomic.Uint64 // solves that ran out of retry budget
 	ingests     atomic.Uint64
 	ingestPart  atomic.Uint64 // ingests that reached only part of the replica set
+	valueUpds   atomic.Uint64 // value-update requests entering the router
+	valueUpdPrt atomic.Uint64 // value updates that reached only part of the replica set
 	promotions  atomic.Uint64
 	demotions   atomic.Uint64
 	repairs     atomic.Uint64 // async re-ingests triggered by 404/410 from a replica
@@ -225,6 +228,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt.mux.HandleFunc("PUT /v1/matrix/{id}", rt.handleIngest)
 	rt.mux.HandleFunc("DELETE /v1/matrix/{id}", rt.handleEvict)
 	rt.mux.HandleFunc("GET /v1/matrix/{id}", rt.handleStatus)
+	rt.mux.HandleFunc("PUT /v1/matrix/{id}/values", rt.handleUpdateValues)
+	rt.mux.HandleFunc("GET /v1/matrix/{id}/values", rt.handleGetValues)
 	rt.mux.HandleFunc("POST /v1/solve/{id}", rt.handleSolve)
 	rt.mux.HandleFunc("GET /v1/matrices", rt.handleList)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -388,6 +393,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	m.body = body
 	m.contentType = r.Header.Get("Content-Type")
 	m.query = stripQueryParam(r.URL.Query(), "wait")
+	m.values = nil // a fresh ingest body is the new value baseline
 	rf := rt.cfg.Replicas
 	hot := m.hot
 	if hot {
@@ -719,7 +725,7 @@ func (rt *Router) rebalanceOnce() {
 		replicas := append([]string(nil), m.replicas...)
 		rt.mu.Unlock()
 		ctx, cancel := context.WithTimeout(rt.ctx, time.Minute)
-		rt.ingestAt(ctx, m.id, replicas, "")
+		rt.restoreAt(ctx, m.id, replicas)
 		cancel()
 	}
 }
@@ -750,7 +756,7 @@ func (rt *Router) scheduleRepair(backend string) {
 		go func(id string) {
 			defer rt.wg.Done()
 			ctx, cancel := context.WithTimeout(rt.ctx, time.Minute)
-			rt.ingestAt(ctx, id, []string{backend}, "")
+			rt.restoreAt(ctx, id, []string{backend})
 			cancel()
 			rt.mu.Lock()
 			delete(rt.repairing, backend+"|"+id)
@@ -814,6 +820,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("sptrsv_cluster_exhausted_total", "Requests that ran out of retry budget.", m.exhausted.Load())
 	counter("sptrsv_cluster_ingests_total", "Ingest requests entering the router.", m.ingests.Load())
 	counter("sptrsv_cluster_ingest_partial_total", "Ingests that reached only part of the replica set.", m.ingestPart.Load())
+	counter("sptrsv_cluster_value_updates_total", "Streaming value-update requests entering the router.", m.valueUpds.Load())
+	counter("sptrsv_cluster_value_update_partial_total", "Value updates that reached only part of the replica set.", m.valueUpdPrt.Load())
 	counter("sptrsv_cluster_hot_promotions_total", "Matrices promoted to the hot replication factor.", m.promotions.Load())
 	counter("sptrsv_cluster_hot_demotions_total", "Matrices demoted back to the base replication factor.", m.demotions.Load())
 	counter("sptrsv_cluster_repairs_total", "Async re-ingests triggered by a replica answering 404/410.", m.repairs.Load())

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+)
+
+// This file routes streaming value updates (PUT /v1/matrix/{id}/values)
+// across the replica set. The router stores the latest accepted values
+// payload next to the ingest body, so a repaired or newly promoted
+// replica is replayed up to the current numeric generation — re-ingest
+// alone would resurrect the original values. The partial-failure
+// semantics mirror ingest: every replica swapped → 200, some → 202 with
+// a *PartialError detail, none → 502.
+
+func (rt *Router) handleUpdateValues(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.met.valueUpds.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading values body: %w", err))
+		return
+	}
+	if len(body) > maxProxyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("cluster: values body exceeds %d bytes", maxProxyBytes))
+		return
+	}
+
+	rt.mu.Lock()
+	m := rt.matrices[id]
+	if m == nil {
+		rt.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: matrix %q not routed here", id))
+		return
+	}
+	m.values = body
+	replicas := append([]string(nil), m.replicas...)
+	hot := m.hot
+	rt.mu.Unlock()
+
+	statuses, perr := rt.updateValuesAt(r.Context(), id, replicas, body)
+	out := clusterIngest{ID: id, Replicas: replicas, Hot: hot, Statuses: statuses}
+	switch {
+	case perr == nil:
+		writeJSON(w, http.StatusOK, out)
+	case anySucceeded(perr):
+		rt.met.valueUpdPrt.Add(1)
+		out.Error = perr.Error()
+		writeJSON(w, http.StatusAccepted, out)
+	default:
+		out.Error = perr.Error()
+		writeJSON(w, http.StatusBadGateway, out)
+	}
+}
+
+// handleGetValues proxies the current values from the healthiest
+// replica, failing over through the rest.
+func (rt *Router) handleGetValues(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	targets := rt.health.Rank(rt.replicasFor(id))
+	res, err := rt.solve.Do(r.Context(), targets, func(target string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, target+"/v1/matrix/"+url.PathEscape(id)+"/values", nil)
+	})
+	if err != nil {
+		writeExhausted(w, err)
+		return
+	}
+	copyResponse(w, res.Resp)
+}
+
+// updateValuesAt fans the values payload out to the given replicas
+// concurrently. The per-replica retry client already backs off through a
+// 503 (a replica mid-rebuild) with the backend's Retry-After. Outcome
+// tri-state matches ingestAt: nil / *PartialError / total failure.
+func (rt *Router) updateValuesAt(ctx context.Context, id string, replicas []string, body []byte) (map[string]string, error) {
+	type outcome struct {
+		backend string
+		status  string
+		err     error
+	}
+	results := make(chan outcome, len(replicas))
+	for _, b := range replicas {
+		go func(b string) {
+			res, err := rt.ingest.Do(ctx, []string{b}, func(target string) (*http.Request, error) {
+				req, err := http.NewRequest(http.MethodPut,
+					target+"/v1/matrix/"+url.PathEscape(id)+"/values", bytes.NewReader(body))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/octet-stream")
+				return req, nil
+			})
+			if err != nil {
+				results <- outcome{backend: b, err: err}
+				return
+			}
+			snippet, _ := io.ReadAll(io.LimitReader(res.Resp.Body, errBodyMax))
+			res.Resp.Body.Close()
+			if res.Resp.StatusCode != http.StatusOK {
+				results <- outcome{backend: b, err: &StatusError{
+					Target: b, Code: res.Resp.StatusCode, Body: string(snippet)}}
+				return
+			}
+			results <- outcome{backend: b, status: "resident"}
+		}(b)
+	}
+	statuses := make(map[string]string, len(replicas))
+	perr := &PartialError{ID: id, Failed: make(map[string]error)}
+	for range replicas {
+		o := <-results
+		if o.err != nil {
+			statuses[o.backend] = o.err.Error()
+			perr.Failed[o.backend] = o.err
+		} else {
+			statuses[o.backend] = o.status
+			perr.Succeeded = append(perr.Succeeded, o.backend)
+		}
+	}
+	if len(perr.Failed) == 0 {
+		return statuses, nil
+	}
+	if len(perr.Succeeded) == 0 {
+		return statuses, fmt.Errorf("cluster: value update of %q failed on every replica: %w", id, firstErr(perr.Failed))
+	}
+	sort.Strings(perr.Succeeded)
+	return statuses, perr
+}
+
+// storedValues returns the latest accepted values payload for id, nil if
+// none has been routed.
+func (rt *Router) storedValues(id string) []byte {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m := rt.matrices[id]; m != nil {
+		return m.values
+	}
+	return nil
+}
+
+// restoreAt brings one set of replicas fully up to date: re-ingest the
+// stored body, then — when a streaming update has moved the values past
+// the ingest baseline — wait for residency and replay the latest values.
+// Used by repair and hot promotion.
+func (rt *Router) restoreAt(ctx context.Context, id string, replicas []string) {
+	vals := rt.storedValues(id)
+	wait := ""
+	if vals != nil {
+		// The replay below needs the rebuild finished, not just accepted.
+		wait = "1"
+	}
+	rt.ingestAt(ctx, id, replicas, wait)
+	if vals != nil {
+		rt.updateValuesAt(ctx, id, replicas, vals)
+	}
+}

@@ -32,8 +32,17 @@ func Cholesky(a []float64, lda, n int) error {
 // block: on return columns 0..t-1 hold the first t columns of L and the
 // trailing block holds A22 − L21·L21ᵀ. This is exactly the computation a
 // multifrontal method performs on a frontal matrix.
+// The pivot loop is register-blocked in groups of four: each pivot still
+// updates the next pivots of its own group immediately (so the group
+// factors exactly as the unblocked loop would), but columns beyond the
+// group receive all four rank-1 updates in one fused pass that loads and
+// stores each trailing element once instead of four times. The subtracts
+// stay sequential in ascending pivot order, so the result is bitwise
+// identical to the unblocked loop.
 func PartialCholesky(a []float64, lda, n, t int) error {
-	for j := 0; j < t; j++ {
+	// pivot factors column j (sqrt + scale) and applies its rank-1
+	// update to columns j+1..hi-1 only.
+	pivot := func(j, hi int) error {
 		cj := a[j*lda:]
 		d := cj[j]
 		if d <= 0 || math.IsNaN(d) {
@@ -45,8 +54,7 @@ func PartialCholesky(a []float64, lda, n, t int) error {
 		for i := j + 1; i < n; i++ {
 			cj[i] *= inv
 		}
-		// rank-1 update of the trailing lower triangle
-		for k := j + 1; k < n; k++ {
+		for k := j + 1; k < hi; k++ {
 			ljk := cj[k]
 			if ljk == 0 {
 				continue
@@ -55,6 +63,36 @@ func PartialCholesky(a []float64, lda, n, t int) error {
 			for i := k; i < n; i++ {
 				ck[i] -= cj[i] * ljk
 			}
+		}
+		return nil
+	}
+	j := 0
+	for ; j+4 <= t; j += 4 {
+		for jj := j; jj < j+4; jj++ {
+			if err := pivot(jj, j+4); err != nil {
+				return err
+			}
+		}
+		c0, c1, c2, c3 := a[j*lda:], a[(j+1)*lda:], a[(j+2)*lda:], a[(j+3)*lda:]
+		for k := j + 4; k < n; k++ {
+			l0, l1, l2, l3 := c0[k], c1[k], c2[k], c3[k]
+			if l0 == 0 && l1 == 0 && l2 == 0 && l3 == 0 {
+				continue
+			}
+			ck := a[k*lda:]
+			for i := k; i < n; i++ {
+				v := ck[i]
+				v -= c0[i] * l0
+				v -= c1[i] * l1
+				v -= c2[i] * l2
+				v -= c3[i] * l3
+				ck[i] = v
+			}
+		}
+	}
+	for ; j < t; j++ {
+		if err := pivot(j, n); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,51 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+
+	"sptrsv/internal/chol"
+)
+
+// NewSolverLike builds a solver for a refactorized factor — new numeric
+// values, same symbolic structure — by sharing the schedule of an existing
+// solver instead of recomputing it. The task DAG, level sets, scatter
+// maps, and kernel geometry depend only on the symbolic analysis and the
+// solver options, all invariant across a value swap, and are read-only at
+// solve time (dependency counters live in each solver's arena), so the two
+// solvers can run concurrently: this is what lets a serving layer hot-swap
+// a freshly refactorized matrix while in-flight solves drain on the old
+// solver. Everything mutable — the kernel dispatch table, the arena, the
+// worker pool — is fresh.
+//
+// The factor must share the template's symbolic analysis (the invariant
+// the whole fast path rests on); NewSolverLike panics otherwise.
+func NewSolverLike(f *chol.Factor, like *Solver) *Solver {
+	if f.Sym != like.F.Sym {
+		panic(fmt.Sprintf("native: NewSolverLike factor has a different symbolic analysis (N=%d) than the template (N=%d)", f.Sym.N, like.F.Sym.N))
+	}
+	sv := &Solver{
+		F:        f,
+		workers:  like.workers,
+		b:        like.b,
+		grain:    like.grain,
+		strategy: like.strategy,
+		kernel:   like.kernel,
+		hook:     like.hook,
+
+		// Shared, read-only at solve time.
+		parentPos:   like.parentPos,
+		graph:       like.graph,
+		levels:      like.levels,
+		noSucc:      like.noSucc,
+		heightOff:   like.heightOff,
+		totalHeight: like.totalHeight,
+		shape:       like.shape,
+
+		// Per-solver: buildDispatch fills kernels on the first
+		// arena.ensure, exactly as after NewSolver.
+		kernels: make([]kernelID, f.Sym.NSuper),
+	}
+	runtime.SetFinalizer(sv, (*Solver).Close)
+	return sv
+}

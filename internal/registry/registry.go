@@ -53,7 +53,23 @@ var (
 	// ErrClosed: the registry is shutting down; no new builds or
 	// acquisitions are admitted.
 	ErrClosed = errors.New("registry: closed")
+	// ErrOptionsConflict: a Register for an id that is already building
+	// or resident asked for different build options than the live entry
+	// was built with. The singleflight keeps the existing entry; callers
+	// who want the new options must Evict and re-ingest.
+	ErrOptionsConflict = errors.New("registry: build options conflict with the live entry")
 )
+
+// ValuesError reports an UpdateValues payload whose length does not match
+// the matrix's nonzero count — the values of a different matrix.
+type ValuesError struct {
+	ID        string
+	Got, Want int
+}
+
+func (e *ValuesError) Error() string {
+	return fmt.Sprintf("registry: matrix %q: got %d values, want %d (one per stored nonzero)", e.ID, e.Got, e.Want)
+}
 
 // BuildError wraps a failed background build; Acquire returns it for the
 // failed id until the id is re-registered (which retries the build).
@@ -123,10 +139,28 @@ func (s state) String() string {
 	return "unknown"
 }
 
-// entry is one registered matrix. All fields are guarded by the
-// registry mutex except pr/f/srv, which are written once before the
-// entry becomes resident (built closes after the write) and read-only
-// thereafter.
+// generation is one numeric incarnation of an entry: the factor and warm
+// server built from one set of matrix values. A value swap (UpdateValues)
+// installs a fresh generation and marks the old one dead; each generation
+// is closed exactly once, when it is dead and its last pinning handle
+// releases — in-flight solves always finish on the generation they
+// acquired. pr/f/srv are written once before the generation is published
+// and read-only thereafter; the bookkeeping fields are guarded by the
+// registry mutex.
+type generation struct {
+	pr  *harness.Prepared
+	f   *chol.Factor
+	srv *serve.Server
+
+	num    int  // 1 for the built generation, +1 per swap (observability)
+	refs   int  // handles (and in-flight updates) pinning this generation
+	dead   bool // retired by a swap, or its entry evicted: close at refs==0
+	closed bool // srv.Close has run (exactly-once guard)
+}
+
+// entry is one registered matrix. All fields are guarded by the registry
+// mutex except updateMu (which serializes UpdateValues calls per entry
+// and is only ever taken before r.mu).
 type entry struct {
 	id    string
 	state state
@@ -142,15 +176,18 @@ type entry struct {
 	// build time from the duration estimate.
 	buildStart time.Time
 
-	pr  *harness.Prepared
-	f   *chol.Factor
-	srv *serve.Server
+	// gen is the current generation — what new Acquires see. Old
+	// generations live on only through the handles that pinned them.
+	gen *generation
+
+	// updateMu serializes value swaps on this entry so concurrent
+	// UpdateValues calls never build from the same parent generation.
+	updateMu sync.Mutex
 
 	baseBytes int64  // factor nonzeros × 8, charged while resident or draining
-	refs      int    // outstanding Handles
+	refs      int    // outstanding Handles across all generations
 	lastUse   uint64 // LRU clock value of the most recent Acquire
-	draining  bool   // evicted with refs > 0: last Release closes srv
-	closed    bool   // srv.Close has run (exactly-once guard)
+	draining  bool   // evicted with refs > 0 on the current generation
 }
 
 // bytes is the entry's charge against the resident budget. The arena
@@ -159,8 +196,8 @@ type entry struct {
 // just-built one.
 func (e *entry) bytes() int64 {
 	b := e.baseBytes
-	if e.srv != nil {
-		b += e.srv.Solver().ArenaBytes()
+	if e.gen != nil && e.gen.srv != nil {
+		b += e.gen.srv.Solver().ArenaBytes()
 	}
 	return b
 }
@@ -178,8 +215,15 @@ type Registry struct {
 
 	evictions     uint64
 	buildFailures uint64
-	buildEWMA     time.Duration // smoothed successful-build duration (0 = no history)
-	wg            sync.WaitGroup // in-flight build goroutines
+	buildEWMA     time.Duration // smoothed successful full-build duration (0 = no history)
+	// refactorEWMA smooths UpdateValues swap durations separately from
+	// buildEWMA: value swaps are orders of magnitude cheaper than full
+	// builds, and folding them into one estimate would make the 503
+	// Retry-After that BuildETA feeds dishonest again.
+	refactorEWMA     time.Duration
+	refactorizations uint64         // successful value swaps
+	swapDraining     int            // dead generations still pinned by handles
+	wg               sync.WaitGroup // in-flight build goroutines
 }
 
 // New constructs an empty registry.
@@ -223,7 +267,16 @@ func (r *Registry) register(id string, src Source, cfg serve.Config) error {
 		return ErrClosed
 	}
 	if e, ok := r.entries[id]; ok && (e.state == stateBuilding || e.state == stateResident) {
-		return nil // singleflight: a usable entry already exists
+		// Singleflight: a usable entry already exists — but only if it
+		// is (being) built the way this caller asked. Silently keeping an
+		// entry with different options would hand the caller a solver
+		// they explicitly did not request.
+		if e.serveCfg.Strategy != cfg.Strategy || e.serveCfg.Kernel != cfg.Kernel {
+			return fmt.Errorf(
+				"registry: matrix %q is already %s with strategy=%s kernel=%s (asked for strategy=%s kernel=%s); evict and re-ingest to change options: %w",
+				id, e.state, e.serveCfg.Strategy, e.serveCfg.Kernel, cfg.Strategy, cfg.Kernel, ErrOptionsConflict)
+		}
+		return nil
 	}
 	e := &entry{id: id, state: stateBuilding, built: make(chan struct{}),
 		serveCfg: cfg, buildStart: time.Now()}
@@ -255,8 +308,7 @@ func (r *Registry) build(e *entry, src Source) {
 		r.buildFailures++
 		return
 	}
-	e.pr, e.f = pr, f
-	e.srv = serve.New(pr, f, e.serveCfg)
+	e.gen = &generation{pr: pr, f: f, srv: serve.New(pr, f, e.serveCfg), num: 1}
 	e.baseBytes = f.NnzL() * 8
 	e.state = stateResident
 	e.lastUse = r.tick()
@@ -300,32 +352,65 @@ func (r *Registry) tick() uint64 {
 	return r.clock
 }
 
-// Handle is a ref-counted lease on one resident matrix. The server it
-// exposes stays alive — even across an eviction — until Release.
+// Handle is a ref-counted lease on one resident matrix. It pins the
+// generation that was current at Acquire time: the server it exposes
+// stays alive — and its factor values bitwise stable — even across an
+// eviction or a value swap, until Release. Using a released handle is a
+// bug in the caller and panics loudly (the alternative — handing out a
+// server that may be mid-teardown — turns into a silent use-after-close
+// under load).
 type Handle struct {
 	reg      *Registry
 	e        *entry
+	gen      *generation
 	released bool
 	mu       sync.Mutex
 }
 
-// ID returns the matrix id the handle leases.
+// ID returns the matrix id the handle leases. It stays valid after
+// Release (ids are immutable; only the lease expires).
 func (h *Handle) ID() string { return h.e.id }
 
-// Server returns the matrix's warm coalescing server.
-func (h *Handle) Server() *serve.Server { return h.e.srv }
+// use guards every accessor that hands out leased state; the caller
+// holds h.mu.
+func (h *Handle) use() {
+	if h.released {
+		panic("registry: Handle used after Release")
+	}
+}
+
+// Server returns the matrix's warm coalescing server, as of Acquire
+// time. Panics if the handle was released.
+func (h *Handle) Server() *serve.Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.use()
+	return h.gen.srv
+}
 
 // Prepared returns the matrix's prepared problem (symbolic analysis,
-// permuted matrix).
-func (h *Handle) Prepared() *harness.Prepared { return h.e.pr }
+// permuted matrix with the values of the pinned generation). Panics if
+// the handle was released.
+func (h *Handle) Prepared() *harness.Prepared {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.use()
+	return h.gen.pr
+}
 
-// Factor returns the matrix's numeric Cholesky factor.
-func (h *Handle) Factor() *chol.Factor { return h.e.f }
+// Factor returns the matrix's numeric Cholesky factor, as of Acquire
+// time. Panics if the handle was released.
+func (h *Handle) Factor() *chol.Factor {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.use()
+	return h.gen.f
+}
 
-// Release returns the lease. Idempotent. If the entry was evicted while
-// this handle was out, the last Release closes its server (exactly
-// once) — in-flight solves through Server() therefore always finish
-// before teardown.
+// Release returns the lease. Idempotent. If the pinned generation became
+// dead while this handle was out — its entry evicted, or its values
+// swapped — the last release closes its server (exactly once): in-flight
+// solves through Server() therefore always finish before teardown.
 func (h *Handle) Release() {
 	h.mu.Lock()
 	if h.released {
@@ -334,19 +419,16 @@ func (h *Handle) Release() {
 	}
 	h.released = true
 	h.mu.Unlock()
-	h.reg.release(h.e)
+	h.reg.release(h.e, h.gen)
 }
 
-// release drops one ref and performs any deferred teardown.
-func (r *Registry) release(e *entry) {
+// release drops one ref from a generation (and its entry) and performs
+// any deferred teardown.
+func (r *Registry) release(e *entry, g *generation) {
 	r.mu.Lock()
 	e.refs--
-	var toClose *serve.Server
-	if e.refs == 0 && e.draining && !e.closed {
-		e.closed = true
-		e.draining = false
-		toClose = e.srv
-	}
+	g.refs--
+	toClose := r.reapLocked(e, g)
 	// A Release can also shrink effective pressure ordering; use the
 	// opportunity to re-check the budget (arenas grow after first use).
 	if e.refs == 0 && e.state == stateResident {
@@ -357,6 +439,24 @@ func (r *Registry) release(e *entry) {
 	if toClose != nil {
 		toClose.Close()
 	}
+}
+
+// reapLocked closes a drained dead generation (r.mu held): if g is dead
+// with no refs left it is marked closed and its server returned for
+// teardown outside the lock. Entry-level draining bookkeeping is cleared
+// when the drained generation is the entry's current one; a swapped-out
+// generation instead leaves the swap-draining gauge.
+func (r *Registry) reapLocked(e *entry, g *generation) *serve.Server {
+	if !g.dead || g.refs != 0 || g.closed {
+		return nil
+	}
+	g.closed = true
+	if g == e.gen {
+		e.draining = false
+	} else {
+		r.swapDraining--
+	}
+	return g.srv
 }
 
 // Acquire leases the resident matrix id. The error is one of the typed
@@ -381,8 +481,9 @@ func (r *Registry) Acquire(id string) (*Handle, error) {
 		return nil, e.err
 	}
 	e.refs++
+	e.gen.refs++
 	e.lastUse = r.tick()
-	return &Handle{reg: r, e: e}, nil
+	return &Handle{reg: r, e: e, gen: e.gen}, nil
 }
 
 // AcquireWait is Acquire for callers willing to wait out a build: if id
@@ -438,13 +539,18 @@ func (r *Registry) evictLocked(e *entry) *serve.Server {
 	case stateResident:
 		r.evictions++
 		e.state = stateEvicted
-		if e.refs > 0 {
-			e.draining = true // last Release closes
+		g := e.gen
+		g.dead = true
+		// Older swapped-out generations are already dead and reap
+		// themselves at their last release; only the current one needs
+		// the eviction decision here.
+		if g.refs > 0 {
+			e.draining = true // last release closes
 			return nil
 		}
-		if !e.closed {
-			e.closed = true
-			return e.srv
+		if !g.closed {
+			g.closed = true
+			return g.srv
 		}
 	case stateBuilding:
 		// Leave the build to discover the tombstone when it publishes.
@@ -519,9 +625,10 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 	if e.err != nil {
 		st.Error = e.err.Error()
 	}
-	if e.pr != nil {
-		st.N = e.pr.Sym.N
-		st.NnzL = e.pr.Sym.NnzL
+	if e.gen != nil {
+		st.N = e.gen.pr.Sym.N
+		st.NnzL = e.gen.pr.Sym.NnzL
+		st.Generation = e.gen.num
 	}
 	if e.state == stateResident || e.draining {
 		st.Bytes = e.bytes()
@@ -529,8 +636,8 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 		// concrete strategy the build picked from the tree shape. The
 		// kernel mode is reported as configured: auto stays "auto", since
 		// it dispatches per supernode and RHS width, not per matrix.
-		st.Strategy = e.srv.Solver().Strategy().String()
-		st.Kernel = e.srv.Solver().Kernel().String()
+		st.Strategy = e.gen.srv.Solver().Strategy().String()
+		st.Kernel = e.gen.srv.Solver().Kernel().String()
 	}
 	return st
 }
@@ -549,6 +656,9 @@ type MatrixStatus struct {
 	// Kernel is the kernel-selection mode of the matrix's solver (auto |
 	// legacy | tiled), reported while resident or draining.
 	Kernel string `json:"kernel,omitempty"`
+	// Generation counts numeric incarnations: 1 after the build, +1 per
+	// successful UpdateValues swap.
+	Generation int `json:"generation,omitempty"`
 	// EtaMillis estimates the remaining build time while building (from
 	// the registry's smoothed past-build durations); 0 when unknown.
 	EtaMillis int64  `json:"eta_ms,omitempty"`
@@ -565,6 +675,11 @@ type Stats struct {
 	MaxResidentBytes int64  `json:"max_resident_bytes"`
 	Evictions        uint64 `json:"evictions"`
 	BuildFailures    uint64 `json:"build_failures"`
+	// Refactorizations counts successful UpdateValues swaps;
+	// RefactorEwmaMillis is their smoothed update-to-swap duration
+	// (tracked separately from the full-build EWMA feeding BuildETA).
+	Refactorizations   uint64 `json:"refactorizations"`
+	RefactorEwmaMillis int64  `json:"refactor_ewma_ms"`
 }
 
 // Stats returns the registry gauges.
@@ -572,7 +687,10 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Stats{MaxResidentBytes: r.cfg.MaxResidentBytes,
-		Evictions: r.evictions, BuildFailures: r.buildFailures}
+		Evictions: r.evictions, BuildFailures: r.buildFailures,
+		Refactorizations:   r.refactorizations,
+		RefactorEwmaMillis: r.refactorEWMA.Milliseconds(),
+		Draining:           r.swapDraining}
 	for _, e := range r.entries {
 		switch {
 		case e.state == stateBuilding:
@@ -602,16 +720,21 @@ func (r *Registry) List() []MatrixStatus {
 // Resident returns the ids of all resident matrices (the set /metrics
 // renders serve snapshots for) paired with their servers' snapshots.
 func (r *Registry) Resident() []ResidentSnapshot {
+	type idSrv struct {
+		id  string
+		srv *serve.Server
+	}
 	r.mu.Lock()
-	var ents []*entry
+	var ents []idSrv
 	for _, e := range r.entries {
 		if e.state == stateResident || e.draining {
-			ents = append(ents, e)
+			// The server pointer is captured under the lock (e.gen is
+			// swappable by UpdateValues); a generation that dies after
+			// this still answers Snapshot — it only reads atomics.
+			ents = append(ents, idSrv{e.id, e.gen.srv})
 		}
 	}
 	r.mu.Unlock()
-	// Snapshots are taken outside the lock: they touch the servers'
-	// atomics only.
 	out := make([]ResidentSnapshot, 0, len(ents))
 	for _, e := range ents {
 		out = append(out, ResidentSnapshot{ID: e.id, Serve: e.srv.Snapshot()})

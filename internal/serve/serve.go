@@ -165,6 +165,30 @@ func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
 	return s
 }
 
+// NewLike starts a server over a refactorized problem — new numeric
+// values, same symbolic structure — sharing the template server's solver
+// schedule via native.NewSolverLike instead of recomputing it. The
+// configuration is the template's; pr must carry the matrix the factor
+// was refactorized from (the degradation ladder verifies residuals
+// against pr.A). The template keeps serving untouched: this is the
+// hot-swap constructor, giving the registry a warm replacement server
+// whose first solve pays no schedule-construction cost.
+func NewLike(pr *harness.Prepared, f *chol.Factor, like *Server) *Server {
+	cfg := like.cfg
+	s := &Server{
+		pr:      pr,
+		cfg:     cfg,
+		sv:      native.NewSolverLike(f, like.sv),
+		queue:   make(chan *request, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		blocks:  make(map[int]*batchBlocks),
+		scratch: make([]*request, 0, cfg.MaxBatch),
+	}
+	s.wg.Add(1)
+	go s.batcher()
+	return s
+}
+
 // Solver exposes the server's warm solver for diagnostics (worker count,
 // task counts). Solving through it directly bypasses batching and
 // accounting; use Solve.

@@ -1,0 +1,60 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteHarwellBoeing serializes the matrix in RSA exchange format (the
+// lower-triangle column-wise layout SymCSC already uses, 1-based), so a
+// matrix can make a round trip through the HTTP ingest path — which is
+// how the load generator prices a full re-ingest against a streaming
+// value update on the same system. Values are written with 17
+// significant digits, enough for float64 to survive the round trip
+// bitwise.
+func WriteHarwellBoeing(w io.Writer, title string, a *SymCSC) error {
+	if a == nil || a.N <= 0 {
+		return fmt.Errorf("sparse: WriteHarwellBoeing: empty matrix")
+	}
+	nnz := len(a.RowIdx)
+	if nnz == 0 {
+		return fmt.Errorf("sparse: WriteHarwellBoeing: matrix has no stored nonzeros")
+	}
+	const (
+		ptrPerLine = 8
+		indPerLine = 8
+		valPerLine = 3
+	)
+	cards := func(n, per int) int { return (n + per - 1) / per }
+	ptrCrd := cards(a.N+1, ptrPerLine)
+	indCrd := cards(nnz, indPerLine)
+	valCrd := cards(nnz, valPerLine)
+
+	bw := bufio.NewWriter(w)
+	if len(title) > 72 {
+		title = title[:72]
+	}
+	fmt.Fprintf(bw, "%-72s%-8s\n", title, "SPTRSV")
+	fmt.Fprintf(bw, "%14d%14d%14d%14d%14d\n", ptrCrd+indCrd+valCrd, ptrCrd, indCrd, valCrd, 0)
+	fmt.Fprintf(bw, "%-14s%14d%14d%14d%14d\n", "RSA", a.N, a.N, nnz, 0)
+	fmt.Fprintf(bw, "%-16s%-16s%-20s\n", "(8I10)", "(8I10)", "(3E25.17)")
+
+	writeInts := func(xs []int, per int) {
+		for i, v := range xs {
+			fmt.Fprintf(bw, "%10d", v+1) // 1-based on disk
+			if (i+1)%per == 0 || i == len(xs)-1 {
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	writeInts(a.ColPtr, ptrPerLine)
+	writeInts(a.RowIdx, indPerLine)
+	for i, v := range a.Val {
+		fmt.Fprintf(bw, "%25.17E", v)
+		if (i+1)%valPerLine == 0 || i == len(a.Val)-1 {
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestHarwellBoeingRoundTrip pins WriteHarwellBoeing against the reader:
+// a matrix with awkward values (subnormal-ish magnitudes, negatives,
+// irrational digits) must survive write→read bitwise, pattern and all.
+func TestHarwellBoeingRoundTrip(t *testing.T) {
+	const n = 37
+	tr := NewTriplet(n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 4+math.Sqrt(float64(i+1))*1e-3)
+		if i+1 < n {
+			tr.Add(i+1, i, -1.0/float64(i+2))
+		}
+		if i+5 < n {
+			tr.Add(i+5, i, -math.Pi*1e-2*float64(i%3+1))
+		}
+	}
+	a := tr.Compile()
+
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, "round-trip test matrix", a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadHarwellBoeing(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading back the written file: %v\n%s", err, buf.String())
+	}
+	if b.N != a.N {
+		t.Fatalf("N round trip: %d -> %d", a.N, b.N)
+	}
+	if !slices.Equal(b.ColPtr, a.ColPtr) || !slices.Equal(b.RowIdx, a.RowIdx) {
+		t.Fatal("pattern did not survive the round trip")
+	}
+	if !slices.Equal(b.Val, a.Val) {
+		t.Fatal("values did not survive the round trip bitwise")
+	}
+}
+
+func TestWriteHarwellBoeingTitleClamp(t *testing.T) {
+	tr := NewTriplet(2)
+	tr.Add(0, 0, 2)
+	tr.Add(1, 0, -1)
+	tr.Add(1, 1, 2)
+	a := tr.Compile()
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, strings.Repeat("x", 200), a); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if len(first) != 80 {
+		t.Fatalf("header line is %d chars, want 80", len(first))
+	}
+	if _, err := ReadHarwellBoeing(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHarwellBoeingRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHarwellBoeing(&buf, "t", nil); err == nil {
+		t.Fatal("nil matrix: want an error")
+	}
+	if err := WriteHarwellBoeing(&buf, "t", &SymCSC{N: 3, ColPtr: make([]int, 4)}); err == nil {
+		t.Fatal("no stored nonzeros: want an error")
+	}
+}

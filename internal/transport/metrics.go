@@ -32,6 +32,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("sptrsv_registry_resident_bytes_budget", "Configured resident-bytes budget (0 = unlimited).", float64(st.MaxResidentBytes))
 	counter("sptrsv_registry_evictions_total", "Matrices evicted to fit the resident-bytes budget or by request.", float64(st.Evictions))
 	counter("sptrsv_registry_build_failures_total", "Background factorization builds that failed.", float64(st.BuildFailures))
+	counter("sptrsv_refactorize_total", "Streaming value updates applied via the refactorization fast path.", float64(st.Refactorizations))
+	gauge("sptrsv_refactorize_swap_latency_seconds", "Smoothed update-to-swap latency of value updates (EWMA).", float64(st.RefactorEwmaMillis)/1e3)
 
 	res := s.reg.Resident()
 	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })

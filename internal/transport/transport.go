@@ -15,6 +15,18 @@
 //	                       blocks until the matrix is resident.
 //	GET  /v1/matrix/{id}   lifecycle status (building/resident/…)
 //	DELETE /v1/matrix/{id} evict (drains in-flight solves first)
+//	PUT  /v1/matrix/{id}/values
+//	                       streaming value update: an nnz×1 binary block
+//	                       (codec.go) of new numeric values for the same
+//	                       sparsity pattern. The factor is rebuilt on the
+//	                       refactorization fast path (symbolic analysis
+//	                       and solver schedule reused) and the warm server
+//	                       hot-swapped; in-flight solves finish on the old
+//	                       values. 409 on a pattern/options conflict.
+//	GET  /v1/matrix/{id}/values
+//	                       current values as an nnz×1 binary block (the
+//	                       permuted matrix's column-compressed order —
+//	                       the order PUT …/values expects)
 //	POST /v1/solve/{id}    one solve: length-prefixed binary float64
 //	                       block in, same format out (see codec.go).
 //	                       Multi-RHS bodies fan out column-wise through
@@ -30,7 +42,9 @@
 // registry.ErrNotFound → 404, registry.ErrEvicted → 410,
 // *serve.OverloadError → 429 (Retry-After from Config.OverloadRetryAfter),
 // deadline/cancel → 504, a failed build → 502, solver rejection of the
-// request shape → 400, an exhausted degradation ladder → 500.
+// request shape → 400, an exhausted degradation ladder → 500,
+// registry.ErrOptionsConflict and *chol.PatternError → 409, a
+// wrong-length values payload (*registry.ValuesError) → 400.
 package transport
 
 import (
@@ -44,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"sptrsv/internal/chol"
 	"sptrsv/internal/native"
 	"sptrsv/internal/registry"
 	"sptrsv/internal/serve"
@@ -90,6 +105,8 @@ func NewWith(reg *registry.Registry, cfg Config) *Service {
 	s.mux.HandleFunc("PUT /v1/matrix/{id}", s.handlePut)
 	s.mux.HandleFunc("GET /v1/matrix/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/matrix/{id}", s.handleEvict)
+	s.mux.HandleFunc("PUT /v1/matrix/{id}/values", s.handlePutValues)
+	s.mux.HandleFunc("GET /v1/matrix/{id}/values", s.handleGetValues)
 	s.mux.HandleFunc("POST /v1/solve/{id}", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -270,6 +287,58 @@ func (s *Service) handleEvict(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (s *Service) handlePutValues(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("transport: reading values body: %w", err), id)
+		return
+	}
+	if len(body) > maxIngestBytes {
+		s.httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("transport: values body exceeds %d bytes", maxIngestBytes), id)
+		return
+	}
+	b, err := DecodeBlock(body)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err, id)
+		return
+	}
+	if b.M != 1 {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("transport: values body must be an nnz×1 block, got %d columns", b.M), id)
+		return
+	}
+	if err := s.reg.UpdateValues(id, b.Data); err != nil {
+		s.httpError(w, statusFor(err), err, id)
+		return
+	}
+	st, err := s.reg.Status(id)
+	if err != nil {
+		s.httpError(w, statusFor(err), err, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleGetValues(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h, err := s.reg.Acquire(id)
+	if err != nil {
+		s.httpError(w, statusFor(err), err, id)
+		return
+	}
+	vals := h.Prepared().A.Val
+	blk := sparse.NewBlock(len(vals), 1)
+	copy(blk.Data, vals)
+	h.Release()
+	out := EncodeBlock(make([]byte, 0, blockHeaderLen+len(blk.Data)*8), blk)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(out)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.List())
 }
@@ -396,6 +465,8 @@ func statusFor(err error) int {
 		ce *native.CancelledError
 		de *native.DimensionError
 		be *registry.BuildError
+		pe *chol.PatternError
+		ve *registry.ValuesError
 	)
 	switch {
 	case errors.Is(err, registry.ErrNotFound):
@@ -404,6 +475,10 @@ func statusFor(err error) int {
 		return http.StatusGone
 	case errors.Is(err, registry.ErrBuilding):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, registry.ErrOptionsConflict), errors.As(err, &pe):
+		return http.StatusConflict
+	case errors.As(err, &ve):
+		return http.StatusBadRequest
 	case errors.Is(err, registry.ErrClosed), errors.Is(err, serve.ErrServerClosed):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &oe):
