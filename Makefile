@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz bench benchsmoke benchcheck benchjson benchdiff nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload updatesmoke updateload
+.PHONY: check vet lint build test race fuzz bench benchsmoke benchcheck benchjson benchdiff nativebench loadsmoke loadjson servesmoke loadurl clustersmoke clusterload updatesmoke updateload precsmoke
 
 # staticcheck version pinned so local runs and CI agree; `go run` fetches
 # it on demand (network) — lint skips with a notice when that fails.
@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve ./internal/registry ./internal/transport ./internal/cluster
+	$(GO) test -race -timeout 10m ./internal/native ./internal/machine ./internal/faultinject ./internal/harness ./internal/serve ./internal/registry ./internal/transport ./internal/cluster ./internal/prec
 
 ## fuzz: short never-panic smokes of the Harwell-Boeing reader and the
 ## transport solve-body decoder (same as CI).
@@ -117,6 +117,14 @@ updateload:
 	$(GO) run ./cmd/solveload -grid2d 63x63 -clients 8 -duration 3s \
 		-url http://127.0.0.1:18036 -update -json results/solveload.json; \
 	STATUS=$$?; kill -TERM $$SOLVED_PID; wait $$SOLVED_PID; exit $$STATUS
+
+## precsmoke: mixed-precision smoke (the CI step) — a race-built solved
+## daemon serving the same matrix ingested at float64 and under the mixed
+## policy; concurrent solves against both must meet the residual bound and
+## agree with each other, and /metrics must show the precision info gauge
+## plus the per-precision resident-bytes split.
+precsmoke:
+	$(GO) test -race -run TestPrecSmoke -count=1 -timeout 10m -v ./cmd/solved
 
 ## clustersmoke: the kill-a-backend acceptance test (the CI step) — three
 ## race-built solved daemons behind a race-built solverouter, concurrent

@@ -437,11 +437,17 @@ func BenchmarkNativeSolver(b *testing.B) {
 // nativeSolveRow is one grid point of BenchmarkNativeSolve, serialized
 // into the BENCH json document when BENCH_JSON is set.
 type nativeSolveRow struct {
-	Problem         string           `json:"problem"`
-	N               int              `json:"n"`
-	NnzL            int64            `json:"nnz_l"`
-	Strategy        string           `json:"strategy"`
-	Kernel          string           `json:"kernel"`
+	Problem  string `json:"problem"`
+	N        int    `json:"n"`
+	NnzL     int64  `json:"nnz_l"`
+	Strategy string `json:"strategy"`
+	Kernel   string `json:"kernel"`
+	// Precision is the factor storage precision of the sweep (float64 |
+	// float32); FactorBytes is the value-plane footprint the sweep reads
+	// (8·nnz(L) or 4·nnz(L)) — the resident-bytes side of the
+	// mixed-precision trade next to the throughput columns.
+	Precision       string           `json:"precision"`
+	FactorBytes     int64            `json:"factor_bytes"`
 	KernelTasks     map[string]int64 `json:"kernel_tasks,omitempty"`
 	Workers         int              `json:"workers"`
 	NRHS            int              `json:"nrhs"`
@@ -479,11 +485,14 @@ func BenchmarkNativeSolve(b *testing.B) {
 	rows := map[string]nativeSolveRow{}
 	var order []string
 	configs := []struct {
-		kernel  native.Kernel
-		workers int
+		kernel    native.Kernel
+		precision native.Precision
+		workers   int
 	}{
-		{native.KernelLegacy, 1},
-		{native.KernelTiled, 1},
+		{native.KernelLegacy, native.PrecisionFloat64, 1},
+		{native.KernelLegacy, native.PrecisionFloat32, 1},
+		{native.KernelTiled, native.PrecisionFloat64, 1},
+		{native.KernelTiled, native.PrecisionFloat32, 1},
 	}
 	for _, pr := range []*harness.Prepared{benchProblem(), benchProblem3D()} {
 		f, err := chol.Factorize(pr.A, pr.Sym)
@@ -492,9 +501,13 @@ func BenchmarkNativeSolve(b *testing.B) {
 		}
 		for _, cfg := range configs {
 			for _, m := range []int{1, 4, 8, 16, 30} {
-				name := fmt.Sprintf("%s/kernel=%s/nrhs=%d", pr.Name, cfg.kernel, m)
+				name := fmt.Sprintf("%s/kernel=%s/precision=%s/nrhs=%d", pr.Name, cfg.kernel, cfg.precision, m)
+				factorBytes := pr.Sym.NnzL * 8
+				if cfg.precision == native.PrecisionFloat32 {
+					factorBytes = pr.Sym.NnzL * 4
+				}
 				b.Run(name, func(b *testing.B) {
-					sv := native.NewSolver(f, native.Options{Workers: cfg.workers, Kernel: cfg.kernel})
+					sv := native.NewSolver(f, native.Options{Workers: cfg.workers, Kernel: cfg.kernel, Precision: cfg.precision})
 					defer sv.Close()
 					ctx := context.Background()
 					rhs := mesh.RandomRHS(pr.Sym.N, m, 1)
@@ -530,6 +543,7 @@ func BenchmarkNativeSolve(b *testing.B) {
 					rows[name] = nativeSolveRow{
 						Problem: pr.Name, N: pr.Sym.N, NnzL: pr.Sym.NnzL,
 						Strategy: st.Strategy.String(), Kernel: cfg.kernel.String(),
+						Precision: cfg.precision.String(), FactorBytes: factorBytes,
 						KernelTasks: st.KernelTasks.Map(), Workers: cfg.workers, NRHS: m,
 						NsPerOp: nsPerOp, MFLOPS: mflops,
 						Tasks: st.Tasks, AggregatedTasks: st.AggregatedTasks, Levels: st.Levels,

@@ -4,7 +4,8 @@
 // can be judged case by case instead of by eyeballing two walls of
 // `go test -bench` output.
 //
-// Rows are joined on (problem, kernel, strategy, workers, nrhs); rows
+// Rows are joined on (problem, kernel, strategy, precision, workers,
+// nrhs); rows
 // present in only one document are listed but not compared. Throughput
 // is reported in GFLOPS (the documents store MFLOPS) with the relative
 // change, and the exit status is always 0 — a perf regression is a
@@ -36,13 +37,14 @@ import (
 // row mirrors the fields of bench_test.go's nativeSolveRow that the
 // diff needs; unknown fields in the document are ignored.
 type row struct {
-	Problem  string  `json:"problem"`
-	Strategy string  `json:"strategy"`
-	Kernel   string  `json:"kernel"`
-	Workers  int     `json:"workers"`
-	NRHS     int     `json:"nrhs"`
-	NsPerOp  int64   `json:"ns_per_op"`
-	MFLOPS   float64 `json:"mflops"`
+	Problem   string  `json:"problem"`
+	Strategy  string  `json:"strategy"`
+	Kernel    string  `json:"kernel"`
+	Precision string  `json:"precision"`
+	Workers   int     `json:"workers"`
+	NRHS      int     `json:"nrhs"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	MFLOPS    float64 `json:"mflops"`
 }
 
 type doc struct {
@@ -115,10 +117,12 @@ func checkDoc(path string) error {
 	return nil
 }
 
-// key is the join key: one benchmark case.
+// key is the join key: one benchmark case. Precision is part of the
+// key (documents predating the precision axis join as the empty
+// string, which diffs cleanly against float64 rows as new cases).
 func key(r row) string {
-	return fmt.Sprintf("%s/kernel=%s/strategy=%s/workers=%d/nrhs=%d",
-		r.Problem, r.Kernel, r.Strategy, r.Workers, r.NRHS)
+	return fmt.Sprintf("%s/kernel=%s/strategy=%s/precision=%s/workers=%d/nrhs=%d",
+		r.Problem, r.Kernel, r.Strategy, r.Precision, r.Workers, r.NRHS)
 }
 
 func diff(oldDoc, newDoc *doc) {

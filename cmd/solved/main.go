@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
 	"sptrsv/internal/registry"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/transport"
@@ -57,6 +58,7 @@ func main() {
 		grain        = flag.Int("grain", 0, "native solver task grain (0 = default)")
 		strat        = flag.String("strategy", "auto", "default execution schedule per matrix: subtree | levelset | hybrid | auto (auto picks from each matrix's elimination-tree shape at build time)")
 		kern         = flag.String("kernel", "auto", "default numeric kernel family per matrix: auto | legacy | tiled (auto picks per supernode shape and RHS width)")
+		precis       = flag.String("precision", "float64", "default precision policy per matrix: float64 | mixed | auto (mixed stores factors in float32 and recovers float64 accuracy by refinement; auto decides per matrix from a condition estimate)")
 		maxBatch     = flag.Int("maxbatch", 0, "serve: max coalesced RHS per sweep (0 = 30)")
 		linger       = flag.Duration("linger", 0, "serve: batch linger window (0 = 200µs)")
 		queue        = flag.Int("queue", 0, "serve: admission queue depth (0 = 4×maxbatch)")
@@ -74,11 +76,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := prec.ParsePolicy(*precis)
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg := registry.New(registry.Config{
 		MaxResidentBytes: int64(*budgetMB * (1 << 20)),
 		Serve: serve.Config{
 			Workers: *workers, Grain: *grain, Strategy: strategy, Kernel: kernel,
-			MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue, Tol: *tol,
+			Precision: policy,
+			MaxBatch:  *maxBatch, Linger: *linger, QueueDepth: *queue, Tol: *tol,
 		},
 	})
 	if err := preloadMatrices(reg, *preload); err != nil {
@@ -150,7 +157,7 @@ func preloadMatrices(reg *registry.Registry, preload string) error {
 			return fmt.Errorf("preload %s: %w", id, err)
 		}
 		st, _ := reg.Status(id)
-		log.Printf("preloaded %s: N = %d, nnz(L) = %d, strategy = %s, kernel = %s", id, st.N, st.NnzL, st.Strategy, st.Kernel)
+		log.Printf("preloaded %s: N = %d, nnz(L) = %d, strategy = %s, kernel = %s, precision = %s", id, st.N, st.NnzL, st.Strategy, st.Kernel, st.Precision)
 		h.Release()
 	}
 	return nil

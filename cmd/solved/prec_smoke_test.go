@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/transport"
+)
+
+// TestPrecSmoke is the `make precsmoke` job: a real (race-built) daemon
+// serving the same matrix at both precisions. Concurrent solve traffic
+// against the float64 and mixed ingests must agree — every answer meets
+// the residual bound and the two precisions' solutions match to well
+// under it — and /metrics must expose the precision info gauge and the
+// per-precision resident-bytes split.
+func TestPrecSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping precision smoke in -short mode")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("smoke relies on SIGTERM semantics")
+	}
+
+	base, stop := launchSolved(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	ingest := func(id, spec string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/matrix/"+id+"?wait=1", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("ingest %s: %v", id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: %d (%s)", id, resp.StatusCode, body)
+		}
+	}
+	ingest("pf64", `{"grid2d":"31x31"}`)
+	ingest("pf32", `{"grid2d":"31x31","precision":"mixed"}`)
+
+	pr := harness.Prepare(mesh.Problem{
+		Name: "precsmoke", A: mesh.Grid2D(31, 31), Geom: mesh.Grid2DGeometry(31, 31),
+	})
+
+	// Concurrent solves against both precisions with shared seeds, so
+	// each worker can cross-check the mixed answer against the float64
+	// one for the identical RHS.
+	const workers, perWorker = 4, 6
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	solve := func(id string, rhs []byte) ([]float64, error) {
+		resp, err := client.Post(base+"/v1/solve/"+id, "application/octet-stream", bytes.NewReader(rhs))
+		if err != nil {
+			return nil, err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("solve %s: %d (%s)", id, resp.StatusCode, out)
+		}
+		x, err := transport.DecodeBlock(out)
+		if err != nil {
+			return nil, err
+		}
+		return x.Data, nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b := mesh.RandomRHS(pr.Sym.N, 1, int64(w*perWorker+i+1))
+				enc := transport.EncodeBlock(nil, b)
+				x64, err := solve("pf64", enc)
+				if err != nil {
+					errc <- err
+					return
+				}
+				x32, err := solve("pf32", enc)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, x := range [][]float64{x64, x32} {
+					blk := mesh.OnesRHS(pr.Sym.N, 1)
+					copy(blk.Data, x)
+					if r := harness.RelResidual(pr.A, blk, b); !(r <= 1e-10) {
+						errc <- fmt.Errorf("worker %d solve %d: residual %g > 1e-10", w, i, r)
+						return
+					}
+				}
+				var maxDiff, maxAbs float64
+				for j := range x64 {
+					maxDiff = math.Max(maxDiff, math.Abs(x64[j]-x32[j]))
+					maxAbs = math.Max(maxAbs, math.Abs(x64[j]))
+				}
+				if maxDiff > 1e-6*(1+maxAbs) {
+					errc <- fmt.Errorf("worker %d solve %d: precisions disagree by %g", w, i, maxDiff)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// The precision split must be visible on /metrics.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`sptrsv_serve_precision{matrix="pf32",precision="float32"} 1`,
+		`sptrsv_serve_precision{matrix="pf64",precision="float64"} 1`,
+		`sptrsv_registry_resident_bytes{precision="float32"}`,
+		`sptrsv_registry_resident_bytes{precision="float64"}`,
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	stop()
+}

@@ -53,6 +53,7 @@ import (
 	"sptrsv/internal/harness"
 	"sptrsv/internal/mesh"
 	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/transport"
@@ -88,6 +89,7 @@ type report struct {
 	DurationS  float64        `json:"duration_s"`
 	MaxBatch   int            `json:"max_batch"`
 	LingerUs   float64        `json:"linger_us"`
+	Precision  string         `json:"precision,omitempty"` // resolved factor storage precision of the served side
 	Baseline   *sideReport    `json:"baseline,omitempty"`
 	Served     sideReport     `json:"served"`
 	Speedup    float64        `json:"speedup,omitempty"` // served/baseline solves-per-sec
@@ -112,6 +114,7 @@ func main() {
 		queue      = flag.Int("queue", 0, "serve: admission queue depth (0 = 4×maxbatch)")
 		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline (0 = none)")
 		tol        = flag.Float64("tol", 1e-10, "residual tolerance of the degradation ladder")
+		precis     = flag.String("precision", "float64", "precision policy of the served side: float64 | mixed | auto")
 		noBaseline = flag.Bool("nobaseline", false, "skip the per-request SolveRobust baseline side")
 		inject     = flag.String("inject", "", "fault drill: faultinject spec (panic:S | error:S | stall:S:DUR | nan:S) active on the served side")
 		urlFlag    = flag.String("url", "", "also drive a running solved daemon at this base URL (ingests the matrix, then closed-loops POST /v1/solve)")
@@ -120,6 +123,10 @@ func main() {
 	)
 	flag.Parse()
 
+	policy, err := prec.ParsePolicy(*precis)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pr, err := pickPrepared(*problem, *grid2d)
 	if err != nil {
 		log.Fatal(err)
@@ -166,7 +173,7 @@ func main() {
 	}
 
 	srv := serve.New(pr, f, serve.Config{
-		Workers: *workers, Grain: *grain,
+		Workers: *workers, Grain: *grain, Precision: policy,
 		MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
 		Tol: *tol, TaskHook: hook,
 	})
@@ -181,12 +188,16 @@ func main() {
 	served.P99Ms = float64(snap.Latency.Quantile(0.99)) / float64(time.Millisecond)
 	rep.Served = served
 	rep.Snapshot = snap
+	rep.Precision = snap.Precision
 	fmt.Printf("served   (batched warm solver)    : %8.1f solves/sec  (%d requests, %d errors, %d shed)\n",
 		served.SolvesPerSec, served.Requests, served.Errors, served.Overloaded)
 	fmt.Printf("  batches = %d (mean width %.1f, max %d, splits %d), queue high-water = %d/%d\n",
 		snap.Batches, snap.MeanBatchWidth, snap.MaxBatchWidth, snap.BatchSplits, snap.MaxQueueDepth, snap.QueueCap)
-	fmt.Printf("  paths: native = %d, sequential+refine = %d, cancelled = %d, failed = %d\n",
-		snap.PathNative, snap.PathSequentialRefine, snap.Cancelled, snap.Failed)
+	fmt.Printf("  paths: native = %d, sequential+refine = %d, mixed+refine = %d, float64-fallback = %d, cancelled = %d, failed = %d\n",
+		snap.PathNative, snap.PathSequentialRefine, snap.PathMixedRefine, snap.PathFloat64Fallback, snap.Cancelled, snap.Failed)
+	if snap.Precision != "float64" || snap.RefineIterations > 0 {
+		fmt.Printf("  precision: %s (%d refinement iterations)\n", snap.Precision, snap.RefineIterations)
+	}
 	fmt.Printf("  latency: mean %s, p50 %.3gms, p95 %.3gms, p99 %.3gms\n",
 		snap.Latency.Mean.Round(time.Microsecond), served.P50Ms, served.P95Ms, served.P99Ms)
 	if rep.Baseline != nil && rep.Baseline.SolvesPerSec > 0 {

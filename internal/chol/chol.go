@@ -23,6 +23,13 @@ type Factor struct {
 	Sym    *symbolic.Factor
 	Panels [][]float64
 
+	// Panels32 is the optional float32 value plane (same supernodal
+	// trapezoid layout as Panels), built by EnsureFloat32 or Demote. A
+	// demoted factor carries only Panels32: half the resident bytes and
+	// half the memory traffic through the sweeps, with float64 accuracy
+	// recovered by iterative refinement (see internal/prec). See f32.go.
+	Panels32 [][]float32
+
 	// plan caches the scatter maps of the refactorization fast path; it
 	// is built lazily by Refactorize and inherited by the factors it
 	// returns (see refactor.go).
@@ -138,6 +145,9 @@ func (f *Factor) SolveForward(b *sparse.Block) error {
 	if b.N != sym.N {
 		return fmt.Errorf("chol: SolveForward dimension mismatch: RHS rows %d != matrix size %d", b.N, sym.N)
 	}
+	if f.Panels == nil {
+		return fmt.Errorf("chol: SolveForward: %w", ErrDemoted)
+	}
 	m := b.M
 	for s := 0; s < sym.NSuper; s++ {
 		rows := sym.Rows[s]
@@ -178,6 +188,9 @@ func (f *Factor) SolveBackward(b *sparse.Block) error {
 	sym := f.Sym
 	if b.N != sym.N {
 		return fmt.Errorf("chol: SolveBackward dimension mismatch: RHS rows %d != matrix size %d", b.N, sym.N)
+	}
+	if f.Panels == nil {
+		return fmt.Errorf("chol: SolveBackward: %w", ErrDemoted)
 	}
 	m := b.M
 	for s := sym.NSuper - 1; s >= 0; s-- {

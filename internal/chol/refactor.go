@@ -230,5 +230,12 @@ func (f *Factor) Refactorize(a *sparse.SymCSC) (*Factor, error) {
 			}
 		}
 	}
-	return &Factor{Sym: sym, Panels: panels, plan: pl}, nil
+	nf := &Factor{Sym: sym, Panels: panels, plan: pl}
+	// A factor carrying the float32 plane propagates it: value updates
+	// against a demoted (mixed-precision) factor keep working, and the
+	// serving layer's swap-in re-demotes without a second conversion pass.
+	if f.Panels32 != nil {
+		nf.EnsureFloat32()
+	}
+	return nf, nil
 }

@@ -31,6 +31,14 @@ const (
 	// and the sequential solve + iterative refinement produced the
 	// answer.
 	PathSequentialRefine Path = "sequential+refine"
+	// PathMixedRefine: the float32-plane native sweep answered and
+	// iterative refinement recovered the float64 residual tolerance
+	// (internal/prec; one or more refinement iterations ran).
+	PathMixedRefine Path = "mixed+refine"
+	// PathFloat64Fallback: refinement on the float32 plane stagnated or
+	// went non-finite, and the lazily built float64 factor of the
+	// precision guard produced the answer (internal/prec).
+	PathFloat64Fallback Path = "float64-fallback"
 )
 
 // RobustResult reports one hardened solve.

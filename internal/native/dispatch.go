@@ -89,14 +89,32 @@ const (
 	// column sweep would evict the panel strip from cache.
 	kidTiledTall
 
+	// The float32-plane mirrors (kernels32.go): same structure, the
+	// factor trapezoids read from Panels32 with per-element widening.
+	// They sit at a fixed offset from their float64 twins so precision
+	// composes with shape dispatch as one addition (see buildDispatch).
+	kidFlat1F32
+	kidGenericMF32
+	kidTiledF32
+	kidTiledTallF32
+
 	numKernelIDs // must stay last
 )
 
+// f32KernelOffset maps a float64 kernelID to its float32-plane mirror:
+// chooseKernelID stays precision-blind and buildDispatch adds the offset
+// when the solver reads the f32 plane.
+const f32KernelOffset = kidFlat1F32 - kidFlat1
+
 var kernelIDNames = [numKernelIDs]string{
-	kidFlat1:     "flat1",
-	kidGenericM:  "generic",
-	kidTiled:     "tiled",
-	kidTiledTall: "tiledtall",
+	kidFlat1:        "flat1",
+	kidGenericM:     "generic",
+	kidTiled:        "tiled",
+	kidTiledTall:    "tiledtall",
+	kidFlat1F32:     "flat1f32",
+	kidGenericMF32:  "genericf32",
+	kidTiledF32:     "tiledf32",
+	kidTiledTallF32: "tiledtallf32",
 }
 
 // KernelTasks counts supernode executions per concrete kernel variant.
@@ -162,17 +180,25 @@ const (
 type kernelFunc func(sv *Solver, s, w int) error
 
 var forwardKernels = [numKernelIDs]kernelFunc{
-	kidFlat1:     func(sv *Solver, s, _ int) error { return sv.forwardSupernode1(s) },
-	kidGenericM:  func(sv *Solver, s, _ int) error { return sv.forwardSupernodeM(s) },
-	kidTiled:     func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiled(s) },
-	kidTiledTall: func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiledTall(s) },
+	kidFlat1:        func(sv *Solver, s, _ int) error { return sv.forwardSupernode1(s) },
+	kidGenericM:     func(sv *Solver, s, _ int) error { return sv.forwardSupernodeM(s) },
+	kidTiled:        func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiled(s) },
+	kidTiledTall:    func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiledTall(s) },
+	kidFlat1F32:     func(sv *Solver, s, _ int) error { return sv.forwardSupernode1F32(s) },
+	kidGenericMF32:  func(sv *Solver, s, _ int) error { return sv.forwardSupernodeMF32(s) },
+	kidTiledF32:     func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiledF32(s) },
+	kidTiledTallF32: func(sv *Solver, s, _ int) error { return sv.forwardSupernodeTiledTallF32(s) },
 }
 
 var backwardKernels = [numKernelIDs]kernelFunc{
-	kidFlat1:     func(sv *Solver, s, _ int) error { return sv.backwardSupernode1(s) },
-	kidGenericM:  func(sv *Solver, s, w int) error { return sv.backwardSupernodeM(s, w) },
-	kidTiled:     func(sv *Solver, s, _ int) error { return sv.backwardSupernodeTiled(s) },
-	kidTiledTall: func(sv *Solver, s, w int) error { return sv.backwardSupernodeTiledTall(s, w) },
+	kidFlat1:        func(sv *Solver, s, _ int) error { return sv.backwardSupernode1(s) },
+	kidGenericM:     func(sv *Solver, s, w int) error { return sv.backwardSupernodeM(s, w) },
+	kidTiled:        func(sv *Solver, s, _ int) error { return sv.backwardSupernodeTiled(s) },
+	kidTiledTall:    func(sv *Solver, s, w int) error { return sv.backwardSupernodeTiledTall(s, w) },
+	kidFlat1F32:     func(sv *Solver, s, _ int) error { return sv.backwardSupernode1F32(s) },
+	kidGenericMF32:  func(sv *Solver, s, w int) error { return sv.backwardSupernodeMF32(s, w) },
+	kidTiledF32:     func(sv *Solver, s, _ int) error { return sv.backwardSupernodeTiledF32(s) },
+	kidTiledTallF32: func(sv *Solver, s, w int) error { return sv.backwardSupernodeTiledTallF32(s, w) },
 }
 
 // chooseKernelID picks the concrete kernel for one supernode trapezoid
@@ -242,6 +268,11 @@ func (sv *Solver) buildDispatch(m int) {
 	var counts KernelTasks
 	for s := 0; s < sym.NSuper; s++ {
 		k := chooseKernelID(sv.kernel, sym.Height(s), sym.Width(s), m)
+		if sv.precision == PrecisionFloat32 {
+			// Precision composes with shape dispatch: the same shape
+			// decision, shifted to the f32-plane mirror.
+			k += f32KernelOffset
+		}
 		sv.kernels[s] = k
 		counts[k]++
 	}

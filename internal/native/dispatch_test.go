@@ -139,9 +139,11 @@ func dispatchShapes(rng *rand.Rand) [][2]int {
 }
 
 // TestKernelDispatchPropertyRandomShapes is the satellite property test:
-// for every generated trapezoid shape and NRHS 1..9, the auto- and
-// force-tiled solves must be bitwise identical to the legacy kernels,
-// and the dispatch census must cover all four concrete kernels across
+// for every generated trapezoid shape, NRHS 1..9, and both storage
+// precisions, the auto- and force-tiled solves must be bitwise identical
+// to the legacy kernels at the same precision (within each precision the
+// kernels perform the same floating-point operations in the same order),
+// and the dispatch census must cover all eight concrete kernels across
 // the sweep.
 func TestKernelDispatchPropertyRandomShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
@@ -151,29 +153,31 @@ func TestKernelDispatchPropertyRandomShapes(t *testing.T) {
 		f := trapezoidFactor(t, rng, h, w)
 		for m := 1; m <= 9; m++ {
 			b := mesh.RandomRHS(f.Sym.N, m, int64(h*100+w*10+m))
-			legacy := NewSolver(f, Options{Workers: 1, Kernel: KernelLegacy})
-			want, _, err := legacy.SolveCtx(context.Background(), b)
-			if err != nil {
-				t.Fatal(err)
-			}
-			legacy.Close()
-			for _, kern := range []Kernel{KernelAuto, KernelTiled} {
-				for _, workers := range []int{1, 3} {
-					sv := NewSolver(f, Options{Workers: workers, Kernel: kern})
-					x, st, err := sv.SolveCtx(context.Background(), b)
-					if err != nil {
-						t.Fatal(err)
-					}
-					for i, v := range x.Data {
-						if v != want.Data[i] {
-							t.Fatalf("shape %d×%d m=%d kernel=%s workers=%d: entry %d differs bitwise from legacy",
-								h, w, m, kern, workers, i)
+			for _, prec := range []Precision{PrecisionFloat64, PrecisionFloat32} {
+				legacy := NewSolver(f, Options{Workers: 1, Kernel: KernelLegacy, Precision: prec})
+				want, _, err := legacy.SolveCtx(context.Background(), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacy.Close()
+				for _, kern := range []Kernel{KernelAuto, KernelTiled} {
+					for _, workers := range []int{1, 3} {
+						sv := NewSolver(f, Options{Workers: workers, Kernel: kern, Precision: prec})
+						x, st, err := sv.SolveCtx(context.Background(), b)
+						if err != nil {
+							t.Fatal(err)
 						}
+						for i, v := range x.Data {
+							if v != want.Data[i] {
+								t.Fatalf("shape %d×%d m=%d kernel=%s workers=%d precision=%s: entry %d differs bitwise from legacy",
+									h, w, m, kern, workers, prec, i)
+							}
+						}
+						for k := 0; k < len(seen); k++ {
+							seen[k] += st.KernelTasks[k]
+						}
+						sv.Close()
 					}
-					for k := 0; k < len(seen); k++ {
-						seen[k] += st.KernelTasks[k]
-					}
-					sv.Close()
 				}
 			}
 		}

@@ -81,6 +81,15 @@ type Options struct {
 	// the same floating-point operations in the same per-column order, so
 	// the solution is bitwise identical for every choice.
 	Kernel Kernel
+	// Precision selects which value plane of the factor the kernels read
+	// (see precision.go): the float64 panels (default, bitwise identical
+	// to every pre-precision release) or the float32 panels, halving
+	// panel memory traffic at ~κ·2⁻²⁴ factor error. The factor must
+	// carry the requested plane: NewSolver builds the f32 plane on
+	// demand when the f64 one is present (EnsureFloat32) and panics when
+	// the requested plane cannot be had. Arithmetic is float64 either
+	// way; the policy choice between the two lives in internal/prec.
+	Precision Precision
 	// TaskHook, when non-nil, runs at the start of every supernode
 	// execution (aggregated tasks invoke it once per member supernode);
 	// see TaskHook for the contract. Fault-injection tests and
@@ -114,10 +123,11 @@ type Solver struct {
 	F        *chol.Factor
 	workers  int
 	b        int
-	grain    int
-	strategy Strategy
-	kernel   Kernel
-	hook     TaskHook
+	grain     int
+	strategy  Strategy
+	kernel    Kernel
+	precision Precision
+	hook      TaskHook
 
 	// parentPos[c][k] is the index within Rows[parent(c)] of the k-th
 	// below-triangle row of supernode c (the child→parent scatter map the
@@ -196,6 +206,9 @@ type Stats struct {
 	// not resolved to one concrete value — auto picks per supernode and
 	// per RHS width; KernelTasks shows what it picked.
 	Kernel Kernel
+	// Precision is the value plane the kernels read: float64 or float32
+	// factor storage (arithmetic is float64 either way).
+	Precision Precision
 	// KernelTasks counts the supernodes dispatched to each concrete
 	// kernel variant for one sweep at this solve's RHS width.
 	KernelTasks KernelTasks
@@ -239,6 +252,20 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 	if opts.Kernel < KernelAuto || opts.Kernel > KernelTiled {
 		panic(fmt.Sprintf("native: invalid Options.Kernel %v", opts.Kernel))
 	}
+	switch opts.Precision {
+	case PrecisionFloat64:
+		if f.Panels == nil {
+			panic("native: Options.Precision float64 but the factor carries only the float32 plane (demoted)")
+		}
+	case PrecisionFloat32:
+		// Build the f32 plane on demand from a full factor; a demoted
+		// factor already carries it.
+		if f.Panels32 == nil {
+			f.EnsureFloat32()
+		}
+	default:
+		panic(fmt.Sprintf("native: invalid Options.Precision %v", opts.Precision))
+	}
 	sv := &Solver{
 		F:         f,
 		workers:   w,
@@ -246,6 +273,7 @@ func NewSolver(f *chol.Factor, opts Options) *Solver {
 		grain:     opts.Grain,
 		strategy:  strat,
 		kernel:    opts.Kernel,
+		precision: opts.Precision,
 		hook:      opts.TaskHook,
 		parentPos: make([][]int, sym.NSuper),
 		heightOff: make([]int, sym.NSuper),
@@ -312,6 +340,11 @@ func (sv *Solver) Strategy() Strategy { return sv.strategy }
 // kernel but to a per-supernode, per-width dispatch table; KernelTotals
 // (and Stats.KernelTasks) show what it picked.
 func (sv *Solver) Kernel() Kernel { return sv.kernel }
+
+// Precision returns the value plane the solver's kernels read — the
+// storage precision of the factor traffic, resolved before the solver
+// was built (never a policy like "auto"; see internal/prec).
+func (sv *Solver) Precision() Precision { return sv.precision }
 
 // Tasks returns the number of scheduler tasks per sweep after subtree
 // aggregation (NSuper when aggregation is disabled).
@@ -414,6 +447,7 @@ func (sv *Solver) baseStats() Stats {
 		Strategy:        sv.strategy,
 		Levels:          len(sv.levels),
 		Kernel:          sv.kernel,
+		Precision:       sv.precision,
 		KernelTasks:     sv.kernelCounts,
 		AllocBytes:      sv.arena.bytes,
 	}

@@ -1,0 +1,50 @@
+package native
+
+import "fmt"
+
+// Precision selects which value plane of the factor a Solver reads
+// (Options.Precision). It is the storage precision only: arithmetic is
+// always float64 — the f32 kernels convert each panel element as it is
+// loaded, so the win is memory traffic (half the bytes through the
+// bandwidth-bound sweeps), not ALU width. The zero value is
+// PrecisionFloat64, the exact pre-existing behaviour.
+//
+// Precision deliberately has no "auto": the policy decision (float64 vs
+// mixed vs condition-estimate-driven auto) lives in internal/prec, which
+// resolves to one of these two concrete storage precisions before the
+// solver is built. native stays policy-free.
+type Precision int
+
+const (
+	// PrecisionFloat64 reads the float64 panels (Factor.Panels). The
+	// default; bitwise identical to every pre-precision release.
+	PrecisionFloat64 Precision = iota
+	// PrecisionFloat32 reads the float32 panels (Factor.Panels32),
+	// halving panel memory traffic. Results carry float32 factor error
+	// (~κ·2⁻²⁴ relative residual); callers wanting float64 accuracy wrap
+	// the solve in iterative refinement (internal/prec).
+	PrecisionFloat32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	}
+	return fmt.Sprintf("precision(%d)", int(p))
+}
+
+// ParsePrecision parses the storage-precision spelling reported in
+// status and metrics. Policy spellings ("mixed", "auto") are not
+// accepted here — parse those with prec.ParsePolicy.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "float64":
+		return PrecisionFloat64, nil
+	case "float32":
+		return PrecisionFloat32, nil
+	}
+	return 0, fmt.Errorf("native: unknown precision %q (want float64 | float32)", s)
+}

@@ -50,7 +50,18 @@ type Result struct {
 // stopping when the relative residual drops below tol or stops improving.
 // Result.Reason records why the loop stopped.
 func Solve(a *sparse.SymCSC, solve Solver, b *sparse.Block, maxIter int, tol float64) Result {
-	x := solve(b.Clone())
+	return Continue(a, solve, b, solve(b.Clone()), maxIter, tol)
+}
+
+// Continue refines an existing approximate solution x of A·X = B in
+// place: Residuals[0] is the residual of the given x (the "initial
+// solve" slot of Solve's history), and up to maxIter correction solves
+// follow under the same convergence/stagnation/non-finite rules. This is
+// the entry point of the mixed-precision path, where the initial x comes
+// from a float32-plane sweep that already ran (possibly batched) and
+// only the refinement iterations remain. Solve(a, s, b, ...) is exactly
+// Continue(a, s, b, s(b.Clone()), ...).
+func Continue(a *sparse.SymCSC, solve Solver, b, x *sparse.Block, maxIter int, tol float64) Result {
 	res := Result{X: x}
 	normB := b.NormInf()
 	if normB == 0 {

@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"context"
+	"testing"
+
+	"sptrsv/internal/harness"
+	"sptrsv/internal/mesh"
+	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
+	"sptrsv/internal/serve"
+	"sptrsv/internal/sparse"
+)
+
+// TestMixedPrecisionChargedAtF32Footprint pins the budget-accounting
+// fix of the precision subsystem: a matrix ingested under the mixed
+// policy holds only the float32 value plane, so the registry must
+// charge it 4 bytes per nonzero of L — not the float64 8 — and the
+// per-precision byte split in Stats must agree.
+func TestMixedPrecisionChargedAtF32Footprint(t *testing.T) {
+	reg := New(Config{Serve: serve.Config{Workers: 1}})
+	defer reg.Close()
+	src, err := Grid2DSource(15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("f64", src); err != nil {
+		t.Fatal(err)
+	}
+	mixed := prec.PolicyMixed
+	if err := reg.RegisterWith("f32", src, BuildOptions{Precision: &mixed}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"f64", "f32"} {
+		h, err := reg.AcquireWait(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+
+	st64, err := reg.Status("f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st32, err := reg.Status("f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st64.Precision != "float64" || st32.Precision != "float32" {
+		t.Fatalf("status precisions = %q / %q, want float64 / float32", st64.Precision, st32.Precision)
+	}
+	// Same matrix, same arenas (none sized yet): the only difference is
+	// the value plane, 8·nnz(L) vs 4·nnz(L).
+	if want := st64.Bytes - 4*st64.NnzL; st32.Bytes != want {
+		t.Fatalf("mixed ingest charged %d bytes, want %d (float64 twin %d minus 4·nnz(L) = %d)",
+			st32.Bytes, want, st64.Bytes, 4*st64.NnzL)
+	}
+
+	stats := reg.Stats()
+	byPrec := stats.ResidentBytesByPrecision
+	if byPrec["float64"] != st64.Bytes || byPrec["float32"] != st32.Bytes {
+		t.Fatalf("ResidentBytesByPrecision = %v, want float64:%d float32:%d", byPrec, st64.Bytes, st32.Bytes)
+	}
+	if byPrec["float64"]+byPrec["float32"] != stats.ResidentBytes {
+		t.Fatalf("per-precision split %v does not sum to ResidentBytes %d", byPrec, stats.ResidentBytes)
+	}
+
+	// The mixed entry must still answer at full accuracy.
+	h, err := reg.AcquireWait("f32", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	pr := h.Prepared()
+	b := mesh.RandomRHS(pr.Sym.N, 1, 1)
+	x, err := h.Server().Solve(context.Background(), b.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := harness.RelResidual(pr.A, sparse.BlockFromVec(x), b); res > 1e-10 {
+		t.Fatalf("mixed-precision solve residual %.3g > 1e-10", res)
+	}
+	if got := h.Server().Precision(); got != native.PrecisionFloat32 {
+		t.Fatalf("server precision %v, want float32", got)
+	}
+}

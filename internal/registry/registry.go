@@ -35,6 +35,7 @@ import (
 	"sptrsv/internal/chol"
 	"sptrsv/internal/harness"
 	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
 	"sptrsv/internal/serve"
 )
 
@@ -113,6 +114,12 @@ type BuildOptions struct {
 	// matrix's solver (replaces the template's Serve.Kernel);
 	// native.KernelAuto dispatches per supernode shape and RHS width.
 	Kernel *native.Kernel
+	// Precision, when non-nil, is the precision policy of this matrix's
+	// server (replaces the template's Serve.Precision): float64, mixed
+	// (float32 factor storage + refinement), or auto. A matrix resolved
+	// to mixed is charged its true float32 footprint against the
+	// resident-bytes budget — half the float64 charge.
+	Precision *prec.Policy
 }
 
 // state is one entry's position in the lifecycle.
@@ -198,6 +205,10 @@ func (e *entry) bytes() int64 {
 	b := e.baseBytes
 	if e.gen != nil && e.gen.srv != nil {
 		b += e.gen.srv.Solver().ArenaBytes()
+		// A mixed-precision server that hit refinement stagnation holds a
+		// lazily built float64 fallback factor; charge what it really
+		// holds, not the optimistic float32 half.
+		b += e.gen.srv.FallbackBytes()
 	}
 	return b
 }
@@ -254,6 +265,9 @@ func (r *Registry) RegisterWith(id string, src Source, opts BuildOptions) error 
 	if opts.Kernel != nil {
 		cfg.Kernel = *opts.Kernel
 	}
+	if opts.Precision != nil {
+		cfg.Precision = *opts.Precision
+	}
 	return r.register(id, src, cfg)
 }
 
@@ -271,10 +285,11 @@ func (r *Registry) register(id string, src Source, cfg serve.Config) error {
 		// is (being) built the way this caller asked. Silently keeping an
 		// entry with different options would hand the caller a solver
 		// they explicitly did not request.
-		if e.serveCfg.Strategy != cfg.Strategy || e.serveCfg.Kernel != cfg.Kernel {
+		if e.serveCfg.Strategy != cfg.Strategy || e.serveCfg.Kernel != cfg.Kernel || e.serveCfg.Precision != cfg.Precision {
 			return fmt.Errorf(
-				"registry: matrix %q is already %s with strategy=%s kernel=%s (asked for strategy=%s kernel=%s); evict and re-ingest to change options: %w",
-				id, e.state, e.serveCfg.Strategy, e.serveCfg.Kernel, cfg.Strategy, cfg.Kernel, ErrOptionsConflict)
+				"registry: matrix %q is already %s with strategy=%s kernel=%s precision=%s (asked for strategy=%s kernel=%s precision=%s); evict and re-ingest to change options: %w",
+				id, e.state, e.serveCfg.Strategy, e.serveCfg.Kernel, e.serveCfg.Precision,
+				cfg.Strategy, cfg.Kernel, cfg.Precision, ErrOptionsConflict)
 		}
 		return nil
 	}
@@ -308,8 +323,13 @@ func (r *Registry) build(e *entry, src Source) {
 		r.buildFailures++
 		return
 	}
-	e.gen = &generation{pr: pr, f: f, srv: serve.New(pr, f, e.serveCfg), num: 1}
-	e.baseBytes = f.NnzL() * 8
+	// The server resolves the precision policy and may demote the factor
+	// to its float32 plane; keep the factor it actually serves (the
+	// value-update path refactorizes that one) and charge the budget its
+	// true footprint — 4 bytes per nonzero under mixed precision, not 8.
+	srv := serve.New(pr, f, e.serveCfg)
+	e.gen = &generation{pr: pr, f: srv.Factor(), srv: srv, num: 1}
+	e.baseBytes = srv.FactorBytes()
 	e.state = stateResident
 	e.lastUse = r.tick()
 	// Fold this build into the duration estimate BuildETA serves from.
@@ -638,6 +658,9 @@ func (r *Registry) statusLocked(e *entry) MatrixStatus {
 		// it dispatches per supernode and RHS width, not per matrix.
 		st.Strategy = e.gen.srv.Solver().Strategy().String()
 		st.Kernel = e.gen.srv.Solver().Kernel().String()
+		// The resolved storage precision — with an auto policy this is the
+		// concrete choice the condition estimate made at build time.
+		st.Precision = e.gen.srv.Precision().String()
 	}
 	return st
 }
@@ -656,6 +679,9 @@ type MatrixStatus struct {
 	// Kernel is the kernel-selection mode of the matrix's solver (auto |
 	// legacy | tiled), reported while resident or draining.
 	Kernel string `json:"kernel,omitempty"`
+	// Precision is the resolved factor storage precision (float64 |
+	// float32), reported while resident or draining.
+	Precision string `json:"precision,omitempty"`
 	// Generation counts numeric incarnations: 1 after the build, +1 per
 	// successful UpdateValues swap.
 	Generation int `json:"generation,omitempty"`
@@ -671,6 +697,11 @@ type Stats struct {
 	Building      int   `json:"building"`
 	Draining      int   `json:"draining"`
 	ResidentBytes int64 `json:"resident_bytes"`
+	// ResidentBytesByPrecision splits ResidentBytes by each resident
+	// matrix's resolved storage precision ("float64" / "float32"), so the
+	// metrics endpoint can show where the mixed-precision budget win
+	// lands. Keys with zero bytes are omitted.
+	ResidentBytesByPrecision map[string]int64 `json:"resident_bytes_by_precision,omitempty"`
 	// MaxResidentBytes echoes the configured budget (0 = unlimited).
 	MaxResidentBytes int64  `json:"max_resident_bytes"`
 	Evictions        uint64 `json:"evictions"`
@@ -697,7 +728,12 @@ func (r *Registry) Stats() Stats {
 			st.Building++
 		case e.state == stateResident:
 			st.Resident++
-			st.ResidentBytes += e.bytes()
+			b := e.bytes()
+			st.ResidentBytes += b
+			if st.ResidentBytesByPrecision == nil {
+				st.ResidentBytesByPrecision = make(map[string]int64, 2)
+			}
+			st.ResidentBytesByPrecision[e.gen.srv.Precision().String()] += b
 		case e.draining:
 			st.Draining++
 		}

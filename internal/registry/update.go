@@ -92,8 +92,11 @@ func (r *Registry) UpdateValues(id string, vals []float64) error {
 			err = ErrEvicted
 		default:
 			old := e.gen
-			e.gen = &generation{pr: npr.pr, f: npr.f, srv: nsrv, num: old.num + 1}
-			e.baseBytes = npr.f.NnzL() * 8
+			// nsrv.Factor() rather than the refactorized factor directly:
+			// under mixed precision NewLike re-demoted it, and the next
+			// swap must refactorize the plane set actually in service.
+			e.gen = &generation{pr: npr.pr, f: nsrv.Factor(), srv: nsrv, num: old.num + 1}
+			e.baseBytes = nsrv.FactorBytes()
 			e.lastUse = r.tick()
 			// The old generation drains: our own pin on it (g == old)
 			// is still held, so it is reaped at the pin release below

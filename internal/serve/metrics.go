@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"sptrsv/internal/refine"
 )
 
 // This file is the server's instrumentation: lock-free atomic counters,
@@ -36,6 +38,16 @@ type metrics struct {
 	failed           atomic.Uint64
 	pathNative       atomic.Uint64
 	pathSeqRefine    atomic.Uint64
+	pathMixedRefine  atomic.Uint64
+	pathF64Fallback  atomic.Uint64
+
+	// refineIters accumulates mixed-precision refinement iterations (each
+	// one more sweep); the fb* counters attribute float64-fallback
+	// activations to the refine.Reason that triggered them.
+	refineIters atomic.Uint64
+	fbStagnated atomic.Uint64
+	fbNonFinite atomic.Uint64
+	fbMaxIter   atomic.Uint64
 
 	batches     atomic.Uint64
 	batchSplits atomic.Uint64
@@ -73,6 +85,17 @@ func (m *metrics) observeBatch(width, queued int) {
 		}
 	}
 	m.widthHist[len(widthBounds)].Add(1)
+}
+
+func (m *metrics) observeFallback(r refine.Reason) {
+	switch r {
+	case refine.ReasonStagnated:
+		m.fbStagnated.Add(1)
+	case refine.ReasonNonFinite:
+		m.fbNonFinite.Add(1)
+	default:
+		m.fbMaxIter.Add(1)
+	}
 }
 
 func maxStore(g *atomic.Int64, v int64) {
@@ -149,6 +172,11 @@ func (l LatencySnapshot) Quantile(q float64) time.Duration {
 //     sweep or the native rung of a post-split single.
 //   - PathSequentialRefine: answered by the sequential+refine fallback
 //     rung after the native rung failed.
+//   - PathMixedRefine: a mixed-precision server's f32 sweep answered
+//     after one or more refinement iterations recovered the float64
+//     tolerance (healthy operation, not degradation).
+//   - PathFloat64Fallback: refinement on the f32 plane stagnated and the
+//     precision guard's lazily built float64 factor answered.
 //   - Cancelled: the requester's context ended first.
 //   - Failed: the degradation ladder was exhausted, or the server closed
 //     with the request still queued.
@@ -163,6 +191,19 @@ type Snapshot struct {
 	Failed               uint64 `json:"failed"`
 	PathNative           uint64 `json:"path_native"`
 	PathSequentialRefine uint64 `json:"path_sequential_refine"`
+	PathMixedRefine      uint64 `json:"path_mixed_refine"`
+	PathFloat64Fallback  uint64 `json:"path_float64_fallback"`
+
+	// Precision is the server's resolved factor storage precision
+	// ("float64" or "float32", after PolicyAuto's build-time decision).
+	Precision string `json:"precision"`
+	// RefineIterations is the cumulative mixed-precision refinement
+	// iteration count (each iteration is one more sweep); always 0 on a
+	// float64 server.
+	RefineIterations uint64 `json:"refine_iterations"`
+	// RefineFallbacks counts float64-fallback activations by the
+	// refine.Reason that triggered them; empty until one fires.
+	RefineFallbacks map[string]uint64 `json:"refine_fallbacks,omitempty"`
 
 	Batches        uint64   `json:"batches"`
 	BatchSplits    uint64   `json:"batch_splits"` // batches that failed wholesale and were retried as singles
@@ -196,6 +237,10 @@ func (s *Server) Snapshot() Snapshot {
 		Failed:               m.failed.Load(),
 		PathNative:           m.pathNative.Load(),
 		PathSequentialRefine: m.pathSeqRefine.Load(),
+		PathMixedRefine:      m.pathMixedRefine.Load(),
+		PathFloat64Fallback:  m.pathF64Fallback.Load(),
+		Precision:            s.precision.String(),
+		RefineIterations:     m.refineIters.Load(),
 		Batches:              m.batches.Load(),
 		BatchSplits:          m.batchSplits.Load(),
 		MaxBatchWidth:        int(m.maxWidth.Load()),
@@ -207,6 +252,19 @@ func (s *Server) Snapshot() Snapshot {
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatchWidth = float64(m.widthSum.Load()) / float64(snap.Batches)
+	}
+	fb := map[refine.Reason]uint64{
+		refine.ReasonStagnated: m.fbStagnated.Load(),
+		refine.ReasonNonFinite: m.fbNonFinite.Load(),
+		refine.ReasonMaxIter:   m.fbMaxIter.Load(),
+	}
+	for reason, v := range fb {
+		if v > 0 {
+			if snap.RefineFallbacks == nil {
+				snap.RefineFallbacks = make(map[string]uint64, len(fb))
+			}
+			snap.RefineFallbacks[string(reason)] = v
+		}
 	}
 	snap.BatchWidths = make([]Bucket, len(widthBounds)+1)
 	for i, ub := range widthBounds {

@@ -15,6 +15,7 @@ import (
 	"sptrsv/internal/chol"
 	"sptrsv/internal/harness"
 	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
 	"sptrsv/internal/sparse"
 )
 
@@ -32,6 +33,17 @@ type Config struct {
 	// the zero value is shape-aware per-supernode auto dispatch. Like
 	// Strategy it never changes the solution, only the speed.
 	Kernel native.Kernel
+	// Precision is the per-matrix precision policy (see prec.Policy). The
+	// zero value stores and sweeps the factor in float64 — exactly the
+	// pre-precision behaviour. prec.PolicyMixed demotes the factor to
+	// float32 storage (half the resident bytes and sweep traffic) and
+	// recovers float64 residual accuracy via iterative refinement, with a
+	// lazily built float64 fallback as the safety net; prec.PolicyAuto
+	// decides per matrix from a condition estimate at build time. Unlike
+	// Strategy and Kernel this can change which degradation rung answers
+	// (PathMixedRefine, PathFloat64Fallback), but never the residual
+	// guarantee: every answer meets Tol or the request errors.
+	Precision prec.Policy
 	// MaxBatch bounds how many single-RHS requests one sweep may carry; 0
 	// means 30, the paper's measured amortization sweet spot (§5).
 	// MaxBatch 1 disables coalescing (every request solves alone).
@@ -118,6 +130,15 @@ type Server struct {
 	cfg Config
 	sv  *native.Solver
 
+	// f is the factor the server actually serves — under a resolved mixed
+	// precision policy it is the demoted float32-plane factor (the
+	// resident-bytes win), and it is what a registry must keep for
+	// refactorization. precision is the resolved storage precision; guard
+	// is the accuracy safety net, nil unless precision is float32.
+	f         *chol.Factor
+	precision native.Precision
+	guard     *prec.Guard
+
 	queue chan *request
 	stop  chan struct{}
 	wg    sync.WaitGroup
@@ -145,20 +166,35 @@ type Server struct {
 
 // New starts a server over the prepared problem pr and its numeric
 // factor f. The server owns the native solver it builds — Close releases
-// it.
+// it. Under a mixed precision policy the passed factor is demoted to its
+// float32 plane (callers should drop their own reference and use Factor
+// if they need the served one); pass f with the float64 plane intact so
+// PolicyAuto's condition estimate can solve through it.
 func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
 	cfg.fill()
+	opts := native.Options{
+		Workers: cfg.Workers, Grain: cfg.Grain, Strategy: cfg.Strategy,
+		Kernel: cfg.Kernel, TaskHook: cfg.TaskHook,
+	}
+	// Resolve the policy while f still carries the float64 plane, then
+	// demote: a mixed server holds only the float32 plane.
+	opts.Precision = prec.Resolve(cfg.Precision, pr.A, f)
+	var guard *prec.Guard
+	if opts.Precision == native.PrecisionFloat32 {
+		f = f.Demote()
+		guard = prec.NewGuard(pr, opts, cfg.Tol)
+	}
 	s := &Server{
-		pr:  pr,
-		cfg: cfg,
-		sv: native.NewSolver(f, native.Options{
-			Workers: cfg.Workers, Grain: cfg.Grain, Strategy: cfg.Strategy,
-			Kernel: cfg.Kernel, TaskHook: cfg.TaskHook,
-		}),
-		queue:   make(chan *request, cfg.QueueDepth),
-		stop:    make(chan struct{}),
-		blocks:  make(map[int]*batchBlocks),
-		scratch: make([]*request, 0, cfg.MaxBatch),
+		pr:        pr,
+		cfg:       cfg,
+		f:         f,
+		precision: opts.Precision,
+		guard:     guard,
+		sv:        native.NewSolver(f, opts),
+		queue:     make(chan *request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		blocks:    make(map[int]*batchBlocks),
+		scratch:   make([]*request, 0, cfg.MaxBatch),
 	}
 	s.wg.Add(1)
 	go s.batcher()
@@ -175,14 +211,29 @@ func New(pr *harness.Prepared, f *chol.Factor, cfg Config) *Server {
 // whose first solve pays no schedule-construction cost.
 func NewLike(pr *harness.Prepared, f *chol.Factor, like *Server) *Server {
 	cfg := like.cfg
+	var guard *prec.Guard
+	if like.precision == native.PrecisionFloat32 {
+		// The precision resolved at ingest sticks across value swaps (no
+		// second condition estimate): re-demote the refactorized factor —
+		// Refactorize rebuilt both planes — and give the replacement its
+		// own safety net, since the old guard's fallback holds stale values.
+		f = f.Demote()
+		guard = prec.NewGuard(pr, native.Options{
+			Workers: cfg.Workers, Grain: cfg.Grain, Strategy: cfg.Strategy,
+			Kernel: cfg.Kernel, TaskHook: cfg.TaskHook,
+		}, cfg.Tol)
+	}
 	s := &Server{
-		pr:      pr,
-		cfg:     cfg,
-		sv:      native.NewSolverLike(f, like.sv),
-		queue:   make(chan *request, cfg.QueueDepth),
-		stop:    make(chan struct{}),
-		blocks:  make(map[int]*batchBlocks),
-		scratch: make([]*request, 0, cfg.MaxBatch),
+		pr:        pr,
+		cfg:       cfg,
+		f:         f,
+		precision: like.precision,
+		guard:     guard,
+		sv:        native.NewSolverLike(f, like.sv),
+		queue:     make(chan *request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		blocks:    make(map[int]*batchBlocks),
+		scratch:   make([]*request, 0, cfg.MaxBatch),
 	}
 	s.wg.Add(1)
 	go s.batcher()
@@ -193,6 +244,30 @@ func NewLike(pr *harness.Prepared, f *chol.Factor, like *Server) *Server {
 // task counts). Solving through it directly bypasses batching and
 // accounting; use Solve.
 func (s *Server) Solver() *native.Solver { return s.sv }
+
+// Factor returns the factor the server serves — under a mixed precision
+// policy the demoted float32-plane factor. A registry holding this
+// server must keep this factor (not the one it passed to New) so the
+// value-update path refactorizes the plane set actually in service.
+func (s *Server) Factor() *chol.Factor { return s.f }
+
+// FactorBytes returns the resident value bytes of the served factor:
+// 8·nnz(L) for float64 servers, 4·nnz(L) for mixed ones.
+func (s *Server) FactorBytes() int64 { return s.f.ValueBytes() }
+
+// Precision returns the resolved storage precision — after PolicyAuto's
+// build-time decision, so an operator can see which way "auto" went.
+func (s *Server) Precision() native.Precision { return s.precision }
+
+// FallbackBytes returns the resident bytes of the precision guard's
+// lazily built float64 fallback factor — 0 for float64 servers and for
+// mixed servers that never hit refinement stagnation.
+func (s *Server) FallbackBytes() int64 {
+	if s.guard == nil {
+		return 0
+	}
+	return s.guard.ExtraBytes()
+}
 
 // Solve submits one right-hand side (length N, the matrix order) and
 // blocks until the answer, an error, or ctx ends. The returned slice is
@@ -245,9 +320,14 @@ func (s *Server) Solve(ctx context.Context, rhs []float64) ([]float64, error) {
 func (s *Server) account(err error, path harness.Path) {
 	switch {
 	case err == nil:
-		if path == PathSequentialRefine {
+		switch path {
+		case PathSequentialRefine:
 			s.met.pathSeqRefine.Add(1)
-		} else {
+		case PathMixedRefine:
+			s.met.pathMixedRefine.Add(1)
+		case PathFloat64Fallback:
+			s.met.pathF64Fallback.Add(1)
+		default:
 			s.met.pathNative.Add(1)
 		}
 	case isCancelled(err):
@@ -267,6 +347,8 @@ func isCancelled(err error) bool {
 const (
 	PathNative           = harness.PathNative
 	PathSequentialRefine = harness.PathSequentialRefine
+	PathMixedRefine      = harness.PathMixedRefine
+	PathFloat64Fallback  = harness.PathFloat64Fallback
 )
 
 // Close stops admission, fails still-queued requests with
@@ -284,6 +366,9 @@ func (s *Server) Close() {
 		close(s.stop)
 		s.wg.Wait()
 		s.sv.Close()
+		if s.guard != nil {
+			s.guard.Close()
+		}
 	})
 	s.wg.Wait() // concurrent second Close blocks until shutdown finished
 }
@@ -392,16 +477,32 @@ func (s *Server) serveBatch(batch []*request) {
 	}
 	bctx, cancel := batchContext(live)
 	_, err := s.sv.SolveInto(bctx, blk.b, blk.x)
+	path := PathNative
+	ok := err == nil && harness.RelResidual(s.pr.A, blk.x, blk.b) <= s.cfg.Tol
+	if !ok && err == nil && s.guard != nil {
+		// Mixed precision: the coalesced f32 sweep landed near the answer
+		// but above the float64 tolerance — the expected case, not a
+		// failure. Refine the whole batch in place, each iteration one
+		// more sweep at the same width, before giving up on coalescing.
+		rr := s.guard.Continue(bctx, s.sv, blk.b, blk.x)
+		s.met.refineIters.Add(uint64(rr.Iters))
+		if rr.Converged {
+			ok = true
+			if rr.Iters > 0 {
+				path = PathMixedRefine
+			}
+		}
+	}
 	if cancel != nil {
 		cancel()
 	}
-	if err == nil && harness.RelResidual(s.pr.A, blk.x, blk.b) <= s.cfg.Tol {
+	if ok {
 		for j, req := range live {
 			x := make([]float64, n)
 			for i := range x {
 				x[i] = blk.x.Data[i*m+j]
 			}
-			s.reply(req, result{x: x, path: PathNative})
+			s.reply(req, result{x: x, path: path})
 		}
 		return
 	}
@@ -416,14 +517,30 @@ func (s *Server) serveBatch(batch []*request) {
 	}
 }
 
-// solveSingle runs one request through harness.SolveRobustWith on the
-// warm solver: native rung first, sequential+refine on failure.
+// solveSingle runs one request through the per-request degradation
+// ladder on the warm solver: for float64 servers
+// harness.SolveRobustWith (native rung first, sequential+refine on
+// failure); for mixed servers the precision guard's ladder (f32 sweep +
+// refinement, float64 fallback on stagnation).
 func (s *Server) solveSingle(req *request) {
 	if req.ctx.Err() != nil {
 		s.reply(req, result{err: &native.CancelledError{Cause: context.Cause(req.ctx)}})
 		return
 	}
 	b := &sparse.Block{N: s.pr.Sym.N, M: 1, Data: req.rhs}
+	if s.guard != nil {
+		res, err := s.guard.Solve(req.ctx, s.sv, b)
+		s.met.refineIters.Add(uint64(res.Iters))
+		if res.Path == PathFloat64Fallback {
+			s.met.observeFallback(res.Reason)
+		}
+		if err != nil {
+			s.reply(req, result{err: err})
+			return
+		}
+		s.reply(req, result{x: res.X.Data, path: res.Path})
+		return
+	}
 	res, err := harness.SolveRobustWith(req.ctx, s.pr, s.sv, b, s.cfg.Tol)
 	if err != nil {
 		s.reply(req, result{err: err})

@@ -28,7 +28,18 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("sptrsv_registry_resident_matrices", "Matrices currently resident.", float64(st.Resident))
 	gauge("sptrsv_registry_building_matrices", "Matrices with a background build in flight.", float64(st.Building))
 	gauge("sptrsv_registry_draining_matrices", "Evicted matrices still finishing in-flight solves.", float64(st.Draining))
-	gauge("sptrsv_registry_resident_bytes", "Total resident footprint (factor nonzeros + solver arenas).", float64(st.ResidentBytes))
+	// Resident bytes are labeled by each matrix's resolved storage
+	// precision, so the mixed-precision budget win is visible directly;
+	// summing the series recovers the old unlabeled total.
+	fmt.Fprintf(&sb, "# HELP sptrsv_registry_resident_bytes Resident footprint (factor nonzeros + solver arenas) by factor storage precision.\n# TYPE sptrsv_registry_resident_bytes gauge\n")
+	precs := make([]string, 0, len(st.ResidentBytesByPrecision))
+	for p := range st.ResidentBytesByPrecision {
+		precs = append(precs, p)
+	}
+	sort.Strings(precs)
+	for _, p := range precs {
+		fmt.Fprintf(&sb, "sptrsv_registry_resident_bytes{precision=%q} %d\n", p, st.ResidentBytesByPrecision[p])
+	}
 	gauge("sptrsv_registry_resident_bytes_budget", "Configured resident-bytes budget (0 = unlimited).", float64(st.MaxResidentBytes))
 	counter("sptrsv_registry_evictions_total", "Matrices evicted to fit the resident-bytes budget or by request.", float64(st.Evictions))
 	counter("sptrsv_registry_build_failures_total", "Background factorization builds that failed.", float64(st.BuildFailures))
@@ -59,6 +70,9 @@ var serveCounters = []struct {
 	{"sptrsv_serve_failed_total", "Requests that exhausted the degradation ladder.", func(s serve.Snapshot) uint64 { return s.Failed }},
 	{"sptrsv_serve_path_native_total", "Requests answered by the warm native engine.", func(s serve.Snapshot) uint64 { return s.PathNative }},
 	{"sptrsv_serve_path_sequential_refine_total", "Requests answered by the sequential+refine fallback.", func(s serve.Snapshot) uint64 { return s.PathSequentialRefine }},
+	{"sptrsv_serve_path_mixed_refine_total", "Requests answered by the float32 sweep after refinement iterations.", func(s serve.Snapshot) uint64 { return s.PathMixedRefine }},
+	{"sptrsv_serve_path_float64_fallback_total", "Requests answered by the precision guard's float64 fallback.", func(s serve.Snapshot) uint64 { return s.PathFloat64Fallback }},
+	{"sptrsv_refine_iterations_total", "Mixed-precision refinement iterations (each one extra sweep).", func(s serve.Snapshot) uint64 { return s.RefineIterations }},
 	{"sptrsv_serve_batches_total", "Coalesced sweeps executed.", func(s serve.Snapshot) uint64 { return s.Batches }},
 	{"sptrsv_serve_batch_splits_total", "Batches that failed wholesale and were retried as singles.", func(s serve.Snapshot) uint64 { return s.BatchSplits }},
 }
@@ -74,6 +88,8 @@ func writeServeHeader(sb *strings.Builder) {
 	fmt.Fprintf(sb, "# HELP sptrsv_serve_in_flight Admitted requests whose Solve has not returned.\n# TYPE sptrsv_serve_in_flight gauge\n")
 	fmt.Fprintf(sb, "# HELP sptrsv_serve_latency_seconds Request latency from admission to reply.\n# TYPE sptrsv_serve_latency_seconds histogram\n")
 	fmt.Fprintf(sb, "# HELP sptrsv_kernel_tasks_total Supernode tasks executed per numeric kernel.\n# TYPE sptrsv_kernel_tasks_total counter\n")
+	fmt.Fprintf(sb, "# HELP sptrsv_refine_fallback_total Float64-fallback activations by the refinement stop reason.\n# TYPE sptrsv_refine_fallback_total counter\n")
+	fmt.Fprintf(sb, "# HELP sptrsv_serve_precision Resolved factor storage precision of the matrix's server (info gauge, value 1).\n# TYPE sptrsv_serve_precision gauge\n")
 }
 
 // writeServeSnapshot emits one matrix's serve metrics with a
@@ -94,6 +110,15 @@ func writeServeSnapshot(sb *strings.Builder, id string, snap serve.Snapshot) {
 	for _, k := range kernels {
 		fmt.Fprintf(sb, "sptrsv_kernel_tasks_total{matrix=%q,kernel=%q} %d\n", id, k, snap.KernelTasks[k])
 	}
+	reasons := make([]string, 0, len(snap.RefineFallbacks))
+	for rn := range snap.RefineFallbacks {
+		reasons = append(reasons, rn)
+	}
+	sort.Strings(reasons)
+	for _, rn := range reasons {
+		fmt.Fprintf(sb, "sptrsv_refine_fallback_total{matrix=%q,reason=%q} %d\n", id, rn, snap.RefineFallbacks[rn])
+	}
+	fmt.Fprintf(sb, "sptrsv_serve_precision{matrix=%q,precision=%q} 1\n", id, snap.Precision)
 	// Latency histogram: serve buckets are per-bucket counts with
 	// nanosecond bounds; Prometheus wants cumulative counts with
 	// seconds bounds and a trailing +Inf.

@@ -60,6 +60,7 @@ import (
 
 	"sptrsv/internal/chol"
 	"sptrsv/internal/native"
+	"sptrsv/internal/prec"
 	"sptrsv/internal/registry"
 	"sptrsv/internal/serve"
 	"sptrsv/internal/sparse"
@@ -138,14 +139,20 @@ type ingestSpec struct {
 	// ?kernel= query parameter is the Harwell-Boeing equivalent, same
 	// precedence as Strategy.
 	Kernel string `json:"kernel,omitempty"`
+	// Precision names the precision policy for this matrix's server
+	// (float64 | mixed | auto); empty keeps the daemon's default. The
+	// ?precision= query parameter is the Harwell-Boeing equivalent, same
+	// precedence as Strategy.
+	Precision string `json:"precision,omitempty"`
 }
 
 // sourceFor translates one ingest request body into a registry Source
-// plus the requested scheduling strategy and kernel family ("" = daemon
-// default for either).
-func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, error) {
+// plus the requested scheduling strategy, kernel family, and precision
+// policy ("" = daemon default for each).
+func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, string, error) {
 	strategy := r.URL.Query().Get("strategy")
 	kernel := r.URL.Query().Get("kernel")
+	precision := r.URL.Query().Get("precision")
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
@@ -153,17 +160,20 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, e
 	if strings.TrimSpace(ct) != "application/json" {
 		// Anything non-JSON is a Harwell-Boeing upload.
 		src, err := registry.HarwellBoeingSource(body)
-		return src, strategy, kernel, err
+		return src, strategy, kernel, precision, err
 	}
 	var spec ingestSpec
 	if err := json.Unmarshal(body, &spec); err != nil {
-		return nil, "", "", fmt.Errorf("transport: bad ingest spec: %w", err)
+		return nil, "", "", "", fmt.Errorf("transport: bad ingest spec: %w", err)
 	}
 	if spec.Strategy != "" {
 		strategy = spec.Strategy
 	}
 	if spec.Kernel != "" {
 		kernel = spec.Kernel
+	}
+	if spec.Precision != "" {
+		precision = spec.Precision
 	}
 	set := 0
 	if spec.Grid2D != "" {
@@ -176,7 +186,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, e
 		set++
 	}
 	if set != 1 {
-		return nil, "", "", fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
+		return nil, "", "", "", fmt.Errorf("transport: ingest spec wants exactly one of grid2d, cube, problem")
 	}
 	var (
 		src registry.Source
@@ -186,7 +196,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, e
 	case spec.Grid2D != "":
 		var nx, ny int
 		if _, err := fmt.Sscanf(strings.ToLower(spec.Grid2D), "%dx%d", &nx, &ny); err != nil {
-			return nil, "", "", fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
+			return nil, "", "", "", fmt.Errorf("transport: bad grid2d %q (want NXxNY)", spec.Grid2D)
 		}
 		src, err = registry.Grid2DSource(nx, ny)
 	case spec.Cube > 0:
@@ -194,7 +204,7 @@ func sourceFor(r *http.Request, body []byte) (registry.Source, string, string, e
 	default:
 		src, err = registry.SuiteSource(spec.Problem)
 	}
-	return src, strategy, kernel, err
+	return src, strategy, kernel, precision, err
 }
 
 func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -209,7 +219,7 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("transport: ingest body exceeds %d bytes", maxIngestBytes), id)
 		return
 	}
-	src, strategy, kernel, err := sourceFor(r, body)
+	src, strategy, kernel, precision, err := sourceFor(r, body)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err, id)
 		return
@@ -231,7 +241,15 @@ func (s *Service) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Kernel = &kern
 	}
-	if opts.Strategy == nil && opts.Kernel == nil {
+	if precision != "" {
+		pol, perr := prec.ParsePolicy(precision)
+		if perr != nil {
+			s.httpError(w, http.StatusBadRequest, perr, id)
+			return
+		}
+		opts.Precision = &pol
+	}
+	if opts.Strategy == nil && opts.Kernel == nil && opts.Precision == nil {
 		err = s.reg.Register(id, src)
 	} else {
 		err = s.reg.RegisterWith(id, src, opts)
